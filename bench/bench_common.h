@@ -1,0 +1,100 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every bench reproduces one figure of the paper: it sweeps the same axis,
+// runs the same algorithms, and prints the same series — in paper units.
+// Workloads are scaled down by `--scale` (default 64) together with the
+// hardware capacities (see sim::HwSpec::Scaled), so axis labels still read
+// in *paper-scale* million tuples while the simulation stays laptop-sized.
+// Throughput is scale-invariant (both work and time shrink by the same
+// factor), so G Tuples/s values are directly comparable to the paper's.
+//
+// Common flags: --scale=N, --runs=N (repetitions; the paper uses 10),
+// --csv (emit CSV after the table), --quick (coarser sweeps).
+
+#ifndef TRITON_BENCH_BENCH_COMMON_H_
+#define TRITON_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "exec/device.h"
+#include "sim/hw_spec.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace triton::bench {
+
+/// Parsed environment shared by all bench binaries.
+class BenchEnv {
+ public:
+  BenchEnv(int argc, char** argv, const char* figure, const char* title)
+      : flags_(argc, argv),
+        scale_(flags_.GetInt("scale", 64)),
+        runs_(flags_.GetInt("runs", 1)),
+        csv_(flags_.GetBool("csv", false)),
+        quick_(flags_.GetBool("quick", false)),
+        hw_(sim::HwSpec::Ac922NvLink().Scaled(static_cast<double>(scale_))) {
+    std::printf("=== %s: %s ===\n", figure, title);
+    std::printf("machine: %s | scale 1/%lld | runs %lld\n", hw_.name.c_str(),
+                static_cast<long long>(scale_),
+                static_cast<long long>(runs_));
+  }
+
+  const util::Flags& flags() const { return flags_; }
+  int64_t scale() const { return scale_; }
+  int64_t runs() const { return runs_; }
+  bool csv() const { return csv_; }
+  bool quick() const { return quick_; }
+  const sim::HwSpec& hw() const { return hw_; }
+
+  /// Simulated tuple count for a paper-scale size in million tuples.
+  uint64_t Tuples(double paper_mtuples) const {
+    uint64_t n = static_cast<uint64_t>(paper_mtuples * 1024.0 * 1024.0 /
+                                       static_cast<double>(scale_));
+    return n < 1024 ? 1024 : n;
+  }
+
+  /// The default Figure 13-style sweep of build/probe sizes (paper M
+  /// tuples per relation).
+  std::vector<double> SizeSweep() const {
+    if (quick_) return {128, 512, 2048};
+    return {128, 256, 512, 768, 1024, 1536, 2048};
+  }
+
+  /// Emits a finished table (and CSV when requested).
+  void Emit(const util::Table& table, const std::string& title) const {
+    table.Print(title);
+    if (csv_) std::printf("\nCSV\n%s", table.ToCsv().c_str());
+  }
+
+ private:
+  util::Flags flags_;
+  int64_t scale_;
+  int64_t runs_;
+  bool csv_;
+  bool quick_;
+  sim::HwSpec hw_;
+};
+
+/// Runs `fn` (returning simulated seconds) `runs` times on fresh seeds and
+/// returns summary statistics.
+template <typename Fn>
+util::RunningStat Repeat(int64_t runs, Fn&& fn) {
+  util::RunningStat stat;
+  for (int64_t i = 0; i < runs; ++i) stat.Add(fn(static_cast<uint64_t>(i)));
+  return stat;
+}
+
+/// Formats a throughput in G tuples/s with 3 digits.
+inline std::string GTuples(double tuples_per_sec) {
+  return util::FormatDouble(tuples_per_sec / 1e9, 3);
+}
+
+}  // namespace triton::bench
+
+#endif  // TRITON_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,66 @@
+// Extension experiment: how much of the Triton join's performance comes
+// from the *fast* interconnect? Re-runs the Figure 13 comparison on the
+// same GPU attached via PCI-e 3.0 x16 instead of NVLink 2.0 (the paper's
+// Section 3 argument: higher interconnect bandwidth is necessary for
+// GPU-side out-of-core joins; prior work assumed PCI-e and therefore
+// partitioned on the CPU).
+//
+// Expected shape: on PCI-e the out-of-core Triton join drops well below
+// the CPU radix join — fast interconnects are what make the
+// GPU-partitioned strategy viable.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/triton_join.h"
+#include "join/cpu_radix_join.h"
+
+namespace triton {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::BenchEnv env(argc, argv, "Extension: PCI-e",
+                      "Triton join over NVLink 2.0 vs PCI-e 3.0");
+  sim::HwSpec pcie = sim::HwSpec::Ac922Pcie3().Scaled(
+      static_cast<double>(env.scale()));
+
+  util::Table table({"MTuples/rel", "Triton@NVLink", "Triton@PCIe",
+                     "CPU radix"});
+  for (double m : env.quick() ? std::vector<double>{128, 512, 2048}
+                              : std::vector<double>{128, 512, 1024, 2048}) {
+    uint64_t n = env.Tuples(m);
+    auto measure = [&](const sim::HwSpec& hw, bool cpu_join) {
+      exec::Device dev(hw);
+      data::WorkloadConfig cfg;
+      cfg.r_tuples = n;
+      cfg.s_tuples = n;
+      auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+      CHECK_OK(wl.status());
+      double tp = 0.0;
+      if (cpu_join) {
+        join::CpuRadixJoin join({.result_mode = join::ResultMode::kAggregate});
+        auto run = join.Run(dev, wl->r, wl->s);
+        CHECK_OK(run.status());
+        tp = run->Throughput(n, n);
+      } else {
+        core::TritonJoin join({.result_mode = join::ResultMode::kAggregate});
+        auto run = join.Run(dev, wl->r, wl->s);
+        CHECK_OK(run.status());
+        tp = run->Throughput(n, n);
+      }
+      return bench::GTuples(tp);
+    };
+    table.AddRow({util::FormatDouble(m, 0), measure(env.hw(), false),
+                  measure(pcie, false), measure(env.hw(), true)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  env.Emit(table, "Interconnect generation vs join throughput (G Tuples/s)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace triton
+
+int main(int argc, char** argv) { return triton::Main(argc, argv); }

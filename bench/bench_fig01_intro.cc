@@ -1,0 +1,66 @@
+// Figure 1 (introduction): the out-of-core performance cliff, simplified to
+// the perfect-hashing variants of Figure 13.
+//
+// Expected shape: the GPU no-partitioning join leads while its state fits
+// GPU memory, hits the GPU-memory and TLB cliffs, and falls below the CPU
+// radix join — while the Triton join degrades gracefully and stays on top
+// for large relations ("our contribution" region of the figure).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/triton_join.h"
+#include "join/cpu_radix_join.h"
+#include "join/no_partitioning_join.h"
+
+namespace triton {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::BenchEnv env(argc, argv, "Figure 1",
+                      "Out-of-core state: cliff vs graceful scaling");
+  util::Table table(
+      {"MTuples/rel", "CPU Radix Join", "GPU NPJ", "GPU Triton Join"});
+
+  for (double m : env.SizeSweep()) {
+    uint64_t n = env.Tuples(m);
+    auto measure = [&](auto&& make_join) {
+      auto stat = bench::Repeat(env.runs(), [&](uint64_t rep) {
+        exec::Device dev(env.hw());
+        data::WorkloadConfig cfg;
+        cfg.r_tuples = n;
+        cfg.s_tuples = n;
+        cfg.seed = 7 + rep;
+        auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+        CHECK_OK(wl.status());
+        auto run = make_join().Run(dev, wl->r, wl->s);
+        CHECK_OK(run.status());
+        return run->Throughput(n, n);
+      });
+      return bench::GTuples(stat.mean());
+    };
+
+    table.AddRow(
+        {util::FormatDouble(m, 0),
+         measure([&] {
+           return join::CpuRadixJoin({.scheme = join::HashScheme::kPerfect});
+         }),
+         measure([&] {
+           return join::NoPartitioningJoin(
+               {.scheme = join::HashScheme::kPerfect});
+         }),
+         measure([&] {
+           return core::TritonJoin({.scheme = join::HashScheme::kPerfect});
+         })});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  env.Emit(table, "Throughput (G Tuples/s): cliff vs graceful degradation");
+  return 0;
+}
+
+}  // namespace
+}  // namespace triton
+
+int main(int argc, char** argv) { return triton::Main(argc, argv); }

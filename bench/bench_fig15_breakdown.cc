@@ -1,0 +1,77 @@
+// Figure 15: time breakdown of the Triton join — per-kernel share of the
+// total execution time (a) and a bottleneck attribution per kernel (b),
+// profiled with a GPU prefix sum so every phase runs on the GPU.
+//
+// Expected shape (paper): most time goes to the first partitioning pass
+// (~44-47%) and its prefix sum (~19-23%); the first pass and both prefix
+// sums are interconnect bound, the second pass is compute bound (it runs in
+// GPU memory), and spilling inflates the second prefix sum because it
+// copies data into GPU memory.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/triton_join.h"
+
+namespace triton {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::BenchEnv env(argc, argv, "Figure 15",
+                      "Time breakdown of the Triton join");
+  static const char* kPhases[] = {"prefix_sum1", "partition1", "prefix_sum2",
+                                  "partition2",  "sched",      "join"};
+
+  util::Table share({"workload", "PS 1 %", "Part 1 %", "PS 2 %", "Part 2 %",
+                     "Sched %", "Join %"});
+  util::Table bound({"workload", "phase", "bottleneck", "link %",
+                     "compute %"});
+
+  for (double m : {128.0, 512.0, 2048.0}) {
+    uint64_t n = env.Tuples(m);
+    exec::Device dev(env.hw());
+    data::WorkloadConfig cfg;
+    cfg.r_tuples = n;
+    cfg.s_tuples = n;
+    auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+    CHECK_OK(wl.status());
+    core::TritonJoin join({.gpu_prefix_sum = true});
+    auto run = join.Run(dev, wl->r, wl->s);
+    CHECK_OK(run.status());
+
+    double total = 0.0;
+    for (const char* ph : kPhases) total += run->PhaseTime(ph);
+    std::vector<std::string> row = {util::FormatDouble(m, 0) + " M"};
+    for (const char* ph : kPhases) {
+      row.push_back(util::FormatDouble(run->PhaseTime(ph) / total * 100, 1));
+    }
+    share.AddRow(row);
+
+    for (const char* ph : kPhases) {
+      double t = 0.0, link = 0.0, comp = 0.0;
+      const char* b = "-";
+      for (const auto& rec : run->phases) {
+        if (rec.name.find(ph) == std::string::npos) continue;
+        t += rec.Elapsed();
+        link += std::max({rec.time.link, rec.time.tlb, rec.time.cpu_mem});
+        comp += std::max(rec.time.compute, rec.time.gpu_mem);
+        b = rec.time.Bottleneck();
+      }
+      if (t == 0.0) continue;
+      bound.AddRow({util::FormatDouble(m, 0) + " M", ph, b,
+                    util::FormatDouble(link / t * 100, 0),
+                    util::FormatDouble(comp / t * 100, 0)});
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  env.Emit(share, "(a) Kernel share of total time (%)");
+  env.Emit(bound, "(b) Bottleneck attribution per kernel");
+  return 0;
+}
+
+}  // namespace
+}  // namespace triton
+
+int main(int argc, char** argv) { return triton::Main(argc, argv); }

@@ -1,0 +1,93 @@
+// Figure 19: scaling the GPU-memory cache size from 0 to ~15 GiB for the
+// no-partitioning join (which caches part of its hash table) and the Triton
+// join (which caches part of the partitioned state via the interleaved
+// page mapping).
+//
+// Expected shape (paper): the no-partitioning join gains 4.6-4.8x from a
+// fully cached table on the small workloads but nothing at 2048 M (the TLB
+// cliff dominates); the Triton join improves smoothly by 1.1-1.4x with no
+// sharp cliff — and caching *everything* can be slightly slower than ~80%
+// because GPU memory and the interconnect together provide more bandwidth
+// than GPU memory alone.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/triton_join.h"
+#include "join/no_partitioning_join.h"
+
+namespace triton {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::BenchEnv env(argc, argv, "Figure 19",
+                      "Scaling the GPU memory cache size");
+  std::vector<double> cache_gib =
+      env.quick() ? std::vector<double>{0, 4, 8, 14.9}
+                  : std::vector<double>{0, 2, 4, 8, 12, 14.9};
+
+  util::Table npj({"workload", "cache (paper GiB)", "NPJ-perfect G/s",
+                   "NPJ-linear G/s"});
+  util::Table triton({"workload", "cache (paper GiB)", "Triton G/s",
+                      "cached frac"});
+
+  for (double m : {128.0, 512.0, 2048.0}) {
+    uint64_t n = env.Tuples(m);
+    for (double gib : cache_gib) {
+      uint64_t cache = static_cast<uint64_t>(
+          gib * static_cast<double>(util::kGiB) /
+          static_cast<double>(env.scale()));
+      {
+        exec::Device dev(env.hw());
+        data::WorkloadConfig cfg;
+        cfg.r_tuples = n;
+        cfg.s_tuples = n;
+        auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+        CHECK_OK(wl.status());
+        join::NoPartitioningJoin perfect(
+            {.scheme = join::HashScheme::kPerfect,
+             .result_mode = join::ResultMode::kAggregate,
+             .cache_bytes = cache});
+        join::NoPartitioningJoin linear(
+            {.scheme = join::HashScheme::kLinearProbing,
+             .result_mode = join::ResultMode::kAggregate,
+             .cache_bytes = cache});
+        auto p = perfect.Run(dev, wl->r, wl->s);
+        auto l = linear.Run(dev, wl->r, wl->s);
+        CHECK_OK(p.status());
+        CHECK_OK(l.status());
+        npj.AddRow({util::FormatDouble(m, 0) + " M",
+                    util::FormatDouble(gib, 1),
+                    bench::GTuples(p->Throughput(n, n)),
+                    bench::GTuples(l->Throughput(n, n))});
+      }
+      {
+        exec::Device dev(env.hw());
+        data::WorkloadConfig cfg;
+        cfg.r_tuples = n;
+        cfg.s_tuples = n;
+        auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+        CHECK_OK(wl.status());
+        core::TritonJoin join({.result_mode = join::ResultMode::kAggregate,
+                               .cache_bytes = cache});
+        auto run = join.Run(dev, wl->r, wl->s);
+        CHECK_OK(run.status());
+        triton.AddRow({util::FormatDouble(m, 0) + " M",
+                       util::FormatDouble(gib, 1),
+                       bench::GTuples(run->Throughput(n, n)),
+                       util::FormatDouble(join.stats().cached_fraction, 2)});
+      }
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+  env.Emit(npj, "(a) GPU no-partitioning join vs hash-table cache size");
+  env.Emit(triton, "(b) GPU Triton join vs state cache size");
+  return 0;
+}
+
+}  // namespace
+}  // namespace triton
+
+int main(int argc, char** argv) { return triton::Main(argc, argv); }

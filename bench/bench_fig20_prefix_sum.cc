@@ -1,0 +1,71 @@
+// Figure 20: computing the prefix sum on the CPU vs on the GPU — (a) the
+// effect on the end-to-end Triton join, (b) standalone prefix-sum
+// throughput of both processors.
+//
+// Expected shape (paper): the CPU scans the single key column at up to
+// ~130 GiB/s (near its memory bandwidth) while the GPU is capped at the
+// unidirectional interconnect bandwidth (~63 GiB/s), so the CPU computes
+// the prefix sum 1.6-2.2x faster — but the end-to-end join improves by
+// only ~1.1x because the prefix sum is a small share of total time.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/triton_join.h"
+#include "partition/prefix_sum.h"
+
+namespace triton {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::BenchEnv env(argc, argv, "Figure 20", "Prefix sum: CPU vs GPU");
+
+  util::Table joins({"workload", "Triton w/ CPU PS (G/s)",
+                     "Triton w/ GPU PS (G/s)"});
+  util::Table sums({"workload", "CPU prefix sum GiB/s",
+                    "GPU prefix sum GiB/s"});
+
+  for (double m : {128.0, 512.0, 2048.0}) {
+    uint64_t n = env.Tuples(m);
+    exec::Device dev(env.hw());
+    data::WorkloadConfig cfg;
+    cfg.r_tuples = n;
+    cfg.s_tuples = n;
+    auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+    CHECK_OK(wl.status());
+
+    core::TritonJoin cpu_ps({.gpu_prefix_sum = false});
+    core::TritonJoin gpu_ps({.gpu_prefix_sum = true});
+    auto a = cpu_ps.Run(dev, wl->r, wl->s);
+    auto b = gpu_ps.Run(dev, wl->r, wl->s);
+    CHECK_OK(a.status());
+    CHECK_OK(b.status());
+    joins.AddRow({util::FormatDouble(m, 0) + " M",
+                  bench::GTuples(a->Throughput(n, n)),
+                  bench::GTuples(b->Throughput(n, n))});
+
+    // Standalone prefix sums over the key column of R.
+    partition::ColumnInput input = partition::ColumnInput::Of(wl->r);
+    partition::RadixConfig radix{0, 9};
+    dev.ClearTrace();
+    CpuPrefixSum(dev, input, radix, env.hw().gpu.num_sms);
+    double t_cpu = dev.trace().back().Elapsed();
+    GpuPrefixSum(dev, input, radix, env.hw().gpu.num_sms);
+    double t_gpu = dev.trace().back().Elapsed();
+    double key_bytes = static_cast<double>(n) * sizeof(data::Key);
+    sums.AddRow({util::FormatDouble(m, 0) + " M",
+                 util::FormatDouble(key_bytes / t_cpu / util::kGiB, 1),
+                 util::FormatDouble(key_bytes / t_gpu / util::kGiB, 1)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  env.Emit(joins, "(a) End-to-end Triton join by prefix-sum processor");
+  env.Emit(sums, "(b) Standalone prefix-sum throughput (key column only)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace triton
+
+int main(int argc, char** argv) { return triton::Main(argc, argv); }

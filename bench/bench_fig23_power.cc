@@ -1,0 +1,76 @@
+// Figure 23: performance per Watt of the CPU radix join versus the GPU
+// joins (no-partitioning and Triton), perfect hashing, averaged over the
+// three workload classes.
+//
+// Power model (calibrated to the paper's measurements in Section 6.2.11):
+// the CPU join is charged its load-minus-idle delta (~130 W; the paper
+// subtracts the idle power of both GPUs to simulate a CPU-only system),
+// while the GPU joins carry the full system idle power (290 W, the paper's
+// point: "the GPU is hosted by a CPU") plus the GPU's load delta and the
+// CPU's I/O power for interconnect transfers.
+//
+// Expected shape (paper): the CPU is the most power-efficient processor at
+// 7-9.4 M tuples/s/W; the GPU joins land at roughly 3-5.5 M tuples/s/W.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/triton_join.h"
+#include "join/cpu_radix_join.h"
+#include "join/no_partitioning_join.h"
+
+namespace triton {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::BenchEnv env(argc, argv, "Figure 23", "Performance per Watt");
+  const sim::HwSpec& hw = env.hw();
+
+  const double cpu_watts = hw.cpu.load_watts - 60.0;  // load-idle delta
+  const double gpu_watts = hw.system_idle_watts +
+                           (hw.gpu.load_watts - hw.gpu.idle_watts) +
+                           hw.cpu.io_for_gpu_watts;
+
+  util::Table table({"workload", "CPU radix (M/s/W)", "NPJ (M/s/W)",
+                     "Triton (M/s/W)"});
+
+  for (double m : {128.0, 512.0, 2048.0}) {
+    uint64_t n = env.Tuples(m);
+    exec::Device dev(env.hw());
+    data::WorkloadConfig cfg;
+    cfg.r_tuples = n;
+    cfg.s_tuples = n;
+    auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+    CHECK_OK(wl.status());
+
+    join::CpuRadixJoin cpu({.scheme = join::HashScheme::kPerfect});
+    join::NoPartitioningJoin npj({.scheme = join::HashScheme::kPerfect});
+    core::TritonJoin triton({.scheme = join::HashScheme::kPerfect});
+    auto a = cpu.Run(dev, wl->r, wl->s);
+    auto b = npj.Run(dev, wl->r, wl->s);
+    auto c = triton.Run(dev, wl->r, wl->s);
+    CHECK_OK(a.status());
+    CHECK_OK(b.status());
+    CHECK_OK(c.status());
+
+    auto eff = [&](double tp, double watts) {
+      return util::FormatDouble(tp / 1e6 / watts, 1);
+    };
+    table.AddRow({util::FormatDouble(m, 0) + " M",
+                  eff(a->Throughput(n, n), cpu_watts),
+                  eff(b->Throughput(n, n), gpu_watts),
+                  eff(c->Throughput(n, n), gpu_watts)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  env.Emit(table, "Power efficiency (M Tuples/s per Watt)");
+  std::printf("power model: CPU join %.0f W, GPU joins %.0f W (see header)\n",
+              cpu_watts, gpu_watts);
+  return 0;
+}
+
+}  // namespace
+}  // namespace triton
+
+int main(int argc, char** argv) { return triton::Main(argc, argv); }

@@ -1,0 +1,90 @@
+// Figure 24: compute power required for high throughput — the Triton join's
+// throughput as a fraction of its maximum while scaling the number of
+// streaming multiprocessors, plus the phase breakdown explaining the curve.
+//
+// Expected shape (paper): ~28 SMs reach 75% of peak for the smaller
+// workloads and ~55 SMs reach 95% for all of them. The first partitioning
+// pass becomes interconnect bound above ~25 SMs and stops scaling; the
+// second pass remains compute bound with diminishing returns. Conclusion:
+// the Triton join is interconnect bound — a faster interconnect would help,
+// a faster GPU would not.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/triton_join.h"
+
+namespace triton {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::BenchEnv env(argc, argv, "Figure 24",
+                      "Throughput vs streaming multiprocessors");
+  std::vector<int64_t> sms_sweep =
+      env.quick() ? std::vector<int64_t>{5, 25, 55, 80}
+                  : std::vector<int64_t>{5, 10, 20, 25, 40, 55, 80};
+
+  util::Table table({"SMs", "128 M %", "512 M %", "2048 M %"});
+  util::Table breakdown({"SMs", "Part1 bound", "Part2 bound",
+                         "Part1 ms", "Part2 ms", "Join ms"});
+
+  std::vector<std::vector<double>> tp(3);
+  for (int64_t sms : sms_sweep) {
+    std::vector<double> row;
+    int wi = 0;
+    for (double m : {128.0, 512.0, 2048.0}) {
+      uint64_t n = env.Tuples(m);
+      exec::Device dev(env.hw());
+      data::WorkloadConfig cfg;
+      cfg.r_tuples = n;
+      cfg.s_tuples = n;
+      auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+      CHECK_OK(wl.status());
+      core::TritonJoin join({.result_mode = join::ResultMode::kAggregate,
+                             .sms = static_cast<uint32_t>(sms)});
+      auto run = join.Run(dev, wl->r, wl->s);
+      CHECK_OK(run.status());
+      tp[wi].push_back(run->Throughput(n, n));
+      ++wi;
+
+      // Breakdown for the 512 M workload, as in the paper.
+      if (m == 512.0) {
+        const char* p1_bound = "-";
+        const char* p2_bound = "-";
+        for (const auto& rec : run->phases) {
+          if (rec.name.find("partition1") != std::string::npos) {
+            p1_bound = rec.time.Bottleneck();
+          }
+          if (rec.name.find("partition2") != std::string::npos) {
+            p2_bound = rec.time.Bottleneck();
+          }
+        }
+        breakdown.AddRow(
+            {std::to_string(sms), p1_bound, p2_bound,
+             util::FormatDouble(run->PhaseTime("partition1") * 1e3, 2),
+             util::FormatDouble(run->PhaseTime("partition2") * 1e3, 2),
+             util::FormatDouble(run->PhaseTime("join") * 1e3, 2)});
+      }
+    }
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+
+  for (size_t i = 0; i < sms_sweep.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(sms_sweep[i])};
+    for (int w = 0; w < 3; ++w) {
+      double peak = *std::max_element(tp[w].begin(), tp[w].end());
+      row.push_back(util::FormatDouble(tp[w][i] / peak * 100.0, 1));
+    }
+    table.AddRow(row);
+  }
+  env.Emit(table, "(a) Throughput as % of peak vs SM count");
+  env.Emit(breakdown, "(b) Phase behaviour at 512 M tuples");
+  return 0;
+}
+
+}  // namespace
+}  // namespace triton
+
+int main(int argc, char** argv) { return triton::Main(argc, argv); }

@@ -1,0 +1,74 @@
+// Out-of-core scaling demo: what happens when the join state outgrows GPU
+// memory?
+//
+// Sweeps the relation size across the GPU memory capacity and contrasts the
+// no-partitioning join (performance cliff) with the Triton join (graceful
+// degradation) — the scenario a GPU-enabled DBMS operator planner faces
+// when cardinality estimates are wrong (Section 1, "Robustness").
+//
+//   ./out_of_core_scaling [--scale=64] [--points=7]
+
+#include <cstdio>
+
+#include "core/triton_join.h"
+#include "data/generator.h"
+#include "exec/device.h"
+#include "join/no_partitioning_join.h"
+#include "sim/hw_spec.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace triton;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int64_t scale = flags.GetInt("scale", 64);
+  const int64_t points = flags.GetInt("points", 12);
+  sim::HwSpec hw = sim::HwSpec::Ac922NvLink().Scaled(static_cast<double>(scale));
+
+  std::printf("GPU memory: %s (scaled); sweeping total join state across "
+              "it\n\n",
+              util::FormatBytes(hw.gpu_mem.capacity).c_str());
+
+  util::Table table({"state vs GPU mem", "NPJ (G Tuples/s)",
+                     "Triton (G Tuples/s)", "Triton cached"});
+  for (int64_t i = 1; i <= points; ++i) {
+    // Total 16-byte-tuple state from 0.5x to ~6x the GPU capacity.
+    double factor = 0.5 * static_cast<double>(i);
+    uint64_t total_tuples = static_cast<uint64_t>(
+        factor * static_cast<double>(hw.gpu_mem.capacity) / 16.0);
+    uint64_t n = total_tuples / 2;
+
+    exec::Device dev(hw);
+    data::WorkloadConfig cfg;
+    cfg.r_tuples = n;
+    cfg.s_tuples = n;
+    auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+    if (!wl.ok()) {
+      std::fprintf(stderr, "%s\n", wl.status().ToString().c_str());
+      return 1;
+    }
+
+    join::NoPartitioningJoin npj({.scheme = join::HashScheme::kPerfect,
+                                  .result_mode = join::ResultMode::kAggregate});
+    core::TritonJoin triton({.result_mode = join::ResultMode::kAggregate});
+    auto a = npj.Run(dev, wl->r, wl->s);
+    auto b = triton.Run(dev, wl->r, wl->s);
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "join failed\n");
+      return 1;
+    }
+    table.AddRow({util::FormatDouble(factor, 1) + "x",
+                  util::FormatDouble(a->Throughput(n, n) / 1e9, 3),
+                  util::FormatDouble(b->Throughput(n, n) / 1e9, 3),
+                  util::FormatDouble(triton.stats().cached_fraction * 100, 0) +
+                      "%"});
+  }
+  table.Print("Join state scaling across the GPU memory capacity");
+  std::printf(
+      "\nThe no-partitioning join falls off a cliff once its hash table\n"
+      "spills; the Triton join degrades gracefully as its cached fraction\n"
+      "shrinks — the paper's robustness argument.\n");
+  return 0;
+}

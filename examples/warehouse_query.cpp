@@ -1,0 +1,94 @@
+// Warehouse query: the workload the paper's introduction motivates — a
+// data-warehousing equi-join with group-style aggregation, too large for
+// GPU memory.
+//
+// Simulates:  SELECT SUM(o.total + l.price)
+//             FROM   orders o JOIN lineitem l ON o.key = l.order_key
+// where `orders` holds primary keys and `lineitem` references them 4:1
+// (a TPC-H-like orders/lineitem shape). Runs the same query with the GPU
+// no-partitioning join, the CPU radix join and the Triton join, checks all
+// three agree, and reports which operator a planner should pick.
+//
+//   ./warehouse_query [--orders-mtuples=384] [--scale=64]
+
+#include <cstdio>
+
+#include "core/triton_join.h"
+#include "data/generator.h"
+#include "exec/device.h"
+#include "join/cpu_radix_join.h"
+#include "join/no_partitioning_join.h"
+#include "sim/hw_spec.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace triton;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int64_t scale = flags.GetInt("scale", 64);
+  const double orders_m = flags.GetDouble("orders-mtuples", 384);
+
+  sim::HwSpec hw = sim::HwSpec::Ac922NvLink().Scaled(static_cast<double>(scale));
+  exec::Device dev(hw);
+
+  const uint64_t orders = static_cast<uint64_t>(
+      orders_m * 1024 * 1024 / static_cast<double>(scale));
+  const uint64_t lineitems = orders * 4;
+
+  data::WorkloadConfig cfg;
+  cfg.r_tuples = orders;     // orders: primary keys + o.total
+  cfg.s_tuples = lineitems;  // lineitem: foreign keys + l.price
+  auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+  if (!wl.ok()) {
+    std::fprintf(stderr, "%s\n", wl.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("orders: %llu rows, lineitem: %llu rows (%s total; GPU has "
+              "%s)\n\n",
+              static_cast<unsigned long long>(orders),
+              static_cast<unsigned long long>(lineitems),
+              util::FormatBytes((orders + lineitems) * 16).c_str(),
+              util::FormatBytes(hw.gpu_mem.capacity).c_str());
+
+  util::Table table({"operator", "SUM(o.total+l.price)", "time", "G Tuples/s"});
+  uint64_t reference = 0;
+  bool first = true;
+  auto run_query = [&](const char* name, auto&& join) {
+    auto run = join.Run(dev, wl->r, wl->s);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name, run.status().ToString().c_str());
+      return false;
+    }
+    if (first) {
+      reference = run->checksum;
+      first = false;
+    } else if (run->checksum != reference) {
+      std::fprintf(stderr, "%s: WRONG AGGREGATE\n", name);
+      return false;
+    }
+    char sum[32];
+    std::snprintf(sum, sizeof(sum), "%llu",
+                  static_cast<unsigned long long>(run->checksum));
+    table.AddRow({name, sum, util::FormatSeconds(run->elapsed),
+                  util::FormatDouble(
+                      run->Throughput(orders, lineitems) / 1e9, 3)});
+    return true;
+  };
+
+  join::NoPartitioningJoin npj({.scheme = join::HashScheme::kPerfect,
+                                .result_mode = join::ResultMode::kAggregate});
+  join::CpuRadixJoin cpu({.result_mode = join::ResultMode::kAggregate});
+  core::TritonJoin triton({.result_mode = join::ResultMode::kAggregate});
+  if (!run_query("GPU no-partitioning join", npj)) return 1;
+  if (!run_query("CPU radix join (POWER9)", cpu)) return 1;
+  if (!run_query("GPU Triton join", triton)) return 1;
+
+  table.Print("Aggregation query: all operators agree on the result");
+  std::printf("\nTriton join state: %u+%u radix bits, %.0f%% cached in GPU "
+              "memory\n",
+              triton.stats().bits1, triton.stats().bits2,
+              triton.stats().cached_fraction * 100.0);
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "core/triton_aggregate.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/bucket_chain_table.h"
+#include "partition/hierarchical.h"
+#include "partition/input.h"
+#include "partition/layout.h"
+#include "partition/prefix_sum.h"
+#include "partition/shared.h"
+#include "util/bits.h"
+
+namespace triton::core {
+
+namespace {
+
+/// SM-cycles per tuple for the scratchpad aggregation (hash + accumulate).
+constexpr double kAggregateCyclesPerTuple = 7.0;
+
+}  // namespace
+
+std::pair<uint64_t, uint64_t> ReferenceAggregate(const data::Relation& r) {
+  std::unordered_map<data::Key, uint64_t> sums;
+  sums.reserve(r.rows());
+  for (uint64_t i = 0; i < r.rows(); ++i) {
+    sums[r.keys()[i]] += static_cast<uint64_t>(r.payload(0)[i]);
+  }
+  uint64_t checksum = 0;
+  for (const auto& [k, v] : sums) {
+    checksum += static_cast<uint64_t>(k) * 31 + v;
+  }
+  return {sums.size(), checksum};
+}
+
+util::StatusOr<AggregateRun> TritonAggregate::Run(exec::Device& dev,
+                                                  const data::Relation& r) {
+  if (r.payload_cols() == 0) {
+    return util::Status::InvalidArgument(
+        "aggregation needs one payload column");
+  }
+  AggregateRun run;
+  const sim::HwSpec& hw = dev.hw();
+  const uint32_t sms = hw.gpu.num_sms;
+
+  // Radix bits: like the join's derivation, but only one relation flows.
+  uint32_t bits1 = config_.bits1, bits2 = config_.bits2;
+  if (bits1 == 0 || bits2 == 0) {
+    uint32_t total = util::CeilLog2(util::CeilDiv(r.rows(), 1024));
+    uint32_t d2 = std::min(total, 9u);
+    uint32_t d1 = std::max(total - d2, 1u);
+    uint64_t part_bytes = (r.rows() * sizeof(partition::Tuple)) >> d1;
+    while (part_bytes * 4 > hw.gpu_mem.capacity / 2) {
+      ++d1;
+      part_bytes /= 2;
+    }
+    if (bits1 == 0) bits1 = d1;
+    if (bits2 == 0) bits2 = d2;
+  }
+  partition::RadixConfig radix1{0, bits1};
+  partition::RadixConfig radix2 = radix1.Next(bits2);
+
+  dev.ClearTrace();
+
+  // --- Prefix sum + first pass with caching (as in the Triton join) ---
+  partition::ColumnInput input = partition::ColumnInput::Of(r);
+  partition::PrefixSumOptions ps1;
+  ps1.name = "prefix_sum1";
+  partition::PartitionLayout layout1 =
+      CpuPrefixSum(dev, input, radix1, sms, ps1);
+
+  const uint64_t state_bytes =
+      layout1.padded_tuples() * sizeof(partition::Tuple);
+  uint64_t max_part = 0;
+  for (uint32_t p = 0; p < radix1.fanout(); ++p) {
+    max_part = std::max(max_part, layout1.PartitionSize(p));
+  }
+  uint64_t reserve = std::max<uint64_t>(
+      4 * max_part * sizeof(partition::Tuple), hw.gpu_mem.capacity / 8);
+  uint64_t cache_avail = dev.allocator().gpu_free() > reserve
+                             ? dev.allocator().gpu_free() - reserve
+                             : 0;
+  cache_avail = std::min(cache_avail, config_.cache_bytes);
+  uint64_t cache_used = std::min(cache_avail, state_bytes);
+  auto state = dev.allocator().AllocateInterleaved(state_bytes, cache_used);
+  if (!state.ok()) return state.status();
+
+  partition::HierarchicalPartitioner pass1;
+  partition::PartitionOptions p1;
+  p1.name = "partition1";
+  pass1.PartitionColumns(dev, input, layout1, *state, p1);
+
+  // --- Second pass + scratchpad aggregation per partition ---
+  partition::SharedPartitioner pass2;
+  constexpr uint32_t kBuckets = hash::BucketChainTable::kDefaultBuckets;
+  std::vector<uint32_t> heads(kBuckets);
+  uint64_t groups = 0, checksum = 0;
+
+  for (uint32_t p = 0; p < radix1.fanout(); ++p) {
+    if (layout1.PartitionSize(p) == 0) continue;
+    partition::SlicedRowInput rows =
+        partition::PartitionInputOf(*state, layout1, p);
+    partition::PrefixSumOptions ps2;
+    ps2.name = "prefix_sum2";
+    partition::PartitionLayout layout2 =
+        GpuPrefixSum(dev, rows, radix2, sms, ps2);
+    auto refined = dev.allocator().AllocateGpu(layout2.padded_tuples() *
+                                               sizeof(partition::Tuple));
+    if (!refined.ok()) return refined.status();
+    partition::PartitionOptions p2;
+    p2.name = "partition2";
+    pass2.PartitionSliced(dev, rows, layout2, *refined, p2);
+
+    dev.Launch({.name = "aggregate"}, [&](exec::KernelContext& ctx) {
+      const partition::Tuple* data = refined->as<partition::Tuple>();
+      for (uint32_t q = 0; q < radix2.fanout(); ++q) {
+        uint64_t part_n = layout2.PartitionSize(q);
+        if (part_n == 0) continue;
+        // Scratchpad hash aggregation: accumulate sums per key. The table
+        // is rebuilt per partition; oversized partitions (heavy key
+        // duplication) chunk gracefully since groups <= distinct keys.
+        std::vector<int64_t> keys(part_n), sums(part_n);
+        std::vector<uint32_t> next(part_n);
+        std::fill(heads.begin(), heads.end(), 0u);
+        hash::BucketChainTable table(heads.data(), kBuckets, keys.data(),
+                                     sums.data(), next.data(),
+                                     static_cast<uint32_t>(part_n));
+        layout2.ForEachSlice(q, [&](uint64_t begin, uint64_t count) {
+          ctx.ReadSeq(*refined, begin * sizeof(partition::Tuple),
+                      count * sizeof(partition::Tuple));
+          const uint32_t shift = bits1 + bits2;
+          for (uint64_t i = begin; i < begin + count; ++i) {
+            uint32_t e = table.FindFirst(data[i].key, shift);
+            if (e != UINT32_MAX) {
+              sums[e] += data[i].value;  // accumulate into the group
+            } else {
+              table.Insert(data[i].key, data[i].value, shift);
+            }
+          }
+        });
+        ctx.Charge(static_cast<uint64_t>(part_n * kAggregateCyclesPerTuple));
+        ctx.AddTuples(part_n);
+        groups += table.size();
+        if (!config_.distinct_only) {
+          for (uint32_t e = 0; e < table.size(); ++e) {
+            checksum += static_cast<uint64_t>(keys[e]) * 31 +
+                        static_cast<uint64_t>(sums[e]);
+          }
+          // Grouped results stream back to CPU memory.
+        } else {
+          for (uint32_t e = 0; e < table.size(); ++e) {
+            checksum += static_cast<uint64_t>(keys[e]);
+          }
+        }
+      }
+    });
+    dev.allocator().Free(*refined);
+  }
+
+  run.groups = groups;
+  run.checksum = checksum;
+  run.phases = dev.trace();
+  for (const auto& ph : run.phases) run.totals.Merge(ph.counters);
+  run.elapsed = dev.TraceElapsed();
+  dev.allocator().Free(*state);
+  return run;
+}
+
+}  // namespace triton::core

@@ -1,0 +1,168 @@
+#include "exec/device.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace triton::exec {
+
+KernelContext::KernelContext(Device* device, const KernelConfig& config)
+    : device_(device), config_(config) {}
+
+uint64_t KernelContext::scratchpad_bytes() const {
+  return device_->hw_.gpu.scratchpad_bytes;
+}
+
+uint32_t KernelContext::warp_size() const {
+  return device_->hw_.gpu.warp_size;
+}
+
+const sim::HwSpec& KernelContext::hw() const { return device_->hw_; }
+
+void KernelContext::Account(uint64_t addr, uint64_t size,
+                            sim::PageLocation loc, bool is_write,
+                            bool is_random, bool replay_tlb) {
+  if (size == 0) return;
+  if (loc == sim::PageLocation::kGpuMem) {
+    if (is_write) {
+      counters_.gpu_mem_write += size;
+      if (is_random) counters_.gpu_mem_random_write += size;
+    } else {
+      counters_.gpu_mem_read += size;
+    }
+  } else {
+    // CPU-memory access: crosses the interconnect.
+    sim::TxnStats txn =
+        is_random ? device_->packetizer_.Access(addr, size, is_write)
+                  : device_->packetizer_.Bulk(addr, size, is_write);
+    if (is_write) {
+      counters_.link_write_payload += txn.payload;
+      counters_.link_write_physical += txn.physical;
+      counters_.link_write_txns += txn.txns;
+    } else {
+      counters_.link_read_payload += txn.payload;
+      counters_.link_read_physical += txn.physical;
+      counters_.link_read_txns += txn.txns;
+    }
+  }
+  if (is_random && replay_tlb) {
+    auto tr = device_->tlb_.Access(addr, loc, &counters_);
+    random_latency_sum_ += tr.latency;
+    ++random_accesses_;
+  }
+}
+
+void KernelContext::ReadSeq(const mem::Buffer& buf, uint64_t offset,
+                            uint64_t size) {
+  if (size == 0) return;
+  DCHECK_LE(offset + size, buf.size());
+  // Walk the range page by page so interleaved placements split correctly;
+  // runs of same-location pages are accounted in one shot. Translations are
+  // replayed once per TLB entry range (sequential walks coalesce).
+  const uint64_t page = buf.page_bytes();
+  const uint64_t range = device_->hw_.tlb.l2_entry_range;
+  uint64_t pos = offset;
+  uint64_t end = offset + size;
+  while (pos < end) {
+    sim::PageLocation loc = buf.LocationOf(pos);
+    uint64_t run_end = pos;
+    while (run_end < end && buf.LocationOf(run_end) == loc) {
+      uint64_t page_end = (run_end / page + 1) * page;
+      run_end = std::min(end, page_end);
+      if (run_end < end && buf.LocationOf(run_end) != loc) break;
+    }
+    Account(buf.base_addr() + pos, run_end - pos, loc, /*is_write=*/false,
+            /*is_random=*/false);
+    // One translation per entry range touched by the run.
+    for (uint64_t r = (buf.base_addr() + pos) / range;
+         r <= (buf.base_addr() + run_end - 1) / range; ++r) {
+      device_->tlb_.Access(r * range, loc, &counters_);
+    }
+    pos = run_end;
+  }
+}
+
+void KernelContext::WriteSeq(const mem::Buffer& buf, uint64_t offset,
+                             uint64_t size) {
+  if (size == 0) return;
+  DCHECK_LE(offset + size, buf.size());
+  const uint64_t page = buf.page_bytes();
+  const uint64_t range = device_->hw_.tlb.l2_entry_range;
+  uint64_t pos = offset;
+  uint64_t end = offset + size;
+  while (pos < end) {
+    sim::PageLocation loc = buf.LocationOf(pos);
+    uint64_t run_end = pos;
+    while (run_end < end && buf.LocationOf(run_end) == loc) {
+      uint64_t page_end = (run_end / page + 1) * page;
+      run_end = std::min(end, page_end);
+      if (run_end < end && buf.LocationOf(run_end) != loc) break;
+    }
+    Account(buf.base_addr() + pos, run_end - pos, loc, /*is_write=*/true,
+            /*is_random=*/false);
+    for (uint64_t r = (buf.base_addr() + pos) / range;
+         r <= (buf.base_addr() + run_end - 1) / range; ++r) {
+      device_->tlb_.Access(r * range, loc, &counters_);
+    }
+    pos = run_end;
+  }
+}
+
+void KernelContext::ReadRand(const mem::Buffer& buf, uint64_t offset,
+                             uint64_t size) {
+  DCHECK_LE(offset + size, buf.size());
+  Account(buf.base_addr() + offset, size, buf.LocationOf(offset),
+          /*is_write=*/false, /*is_random=*/true);
+}
+
+void KernelContext::WriteRand(const mem::Buffer& buf, uint64_t offset,
+                              uint64_t size) {
+  DCHECK_LE(offset + size, buf.size());
+  Account(buf.base_addr() + offset, size, buf.LocationOf(offset),
+          /*is_write=*/true, /*is_random=*/true);
+}
+
+Device::Device(const sim::HwSpec& hw)
+    : hw_(hw),
+      cost_model_(hw),
+      packetizer_(hw.link),
+      tlb_(hw.tlb),
+      allocator_(hw) {}
+
+KernelRecord Device::Launch(const KernelConfig& config,
+                            const std::function<void(KernelContext&)>& body) {
+  KernelConfig cfg = config;
+  if (cfg.sms == 0) cfg.sms = hw_.gpu.num_sms;
+  CHECK_LE(cfg.sms, hw_.gpu.num_sms);
+
+  // The CUDA runtime flushes GPU TLBs before each kernel launch.
+  tlb_.FlushGpuTlb();
+
+  KernelContext ctx(this, cfg);
+  body(ctx);
+
+  KernelRecord record;
+  record.name = cfg.name;
+  record.counters = ctx.counters_;
+  record.sms = cfg.sms;
+  double avg_latency = 0.0;
+  uint64_t latency_accesses = 0;
+  if (cfg.latency_bound && ctx.random_accesses_ > 0) {
+    avg_latency = ctx.random_latency_sum_ /
+                  static_cast<double>(ctx.random_accesses_);
+    latency_accesses = ctx.random_accesses_;
+  }
+  record.time = cost_model_.Evaluate(ctx.counters_, cfg.sms, avg_latency,
+                                     latency_accesses,
+                                     cfg.occupancy_warps_per_sm);
+  trace_.push_back(record);
+  return record;
+}
+
+double Device::TraceElapsed() const {
+  double total = 0.0;
+  for (const auto& r : trace_) total += r.Elapsed();
+  return total;
+}
+
+}  // namespace triton::exec

@@ -1,0 +1,188 @@
+// Simulated GPU device and kernel-execution context.
+//
+// Kernels in this codebase are ordinary C++ callables that receive a
+// KernelContext. They perform real work on host memory (so their outputs
+// are functionally correct) and report their memory traffic to the context,
+// which packetizes interconnect accesses, replays addresses through the TLB
+// simulator, and accumulates PerfCounters. Device::Launch wraps one kernel
+// execution: it flushes the GPU TLB (the CUDA runtime does this on every
+// launch), runs the kernel, evaluates the cost model, and appends a
+// KernelRecord to the device trace used by the time-breakdown figures.
+
+#ifndef TRITON_EXEC_DEVICE_H_
+#define TRITON_EXEC_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/allocator.h"
+#include "mem/buffer.h"
+#include "sim/cost_model.h"
+#include "sim/hw_spec.h"
+#include "sim/packetizer.h"
+#include "sim/perf_counters.h"
+#include "sim/tlb.h"
+
+namespace triton::exec {
+
+class Device;
+
+/// Launch-time parameters of one kernel.
+struct KernelConfig {
+  /// Kernel name for traces and time breakdowns ("part1", "join", ...).
+  std::string name;
+  /// Streaming multiprocessors allocated to this kernel (0 = all). The
+  /// Triton join gives each pipeline stage half the SMs (Section 5.2).
+  uint32_t sms = 0;
+  /// Resident warps per SM this kernel sustains; bounds memory-level
+  /// parallelism in the cost model. Pointer-chase microbenchmarks use 1.
+  uint32_t occupancy_warps_per_sm = 64;
+  /// If true, the kernel's random accesses are latency-bound rather than
+  /// pipelined (single dependent chain per warp).
+  bool latency_bound = false;
+};
+
+/// Result of one kernel launch.
+struct KernelRecord {
+  std::string name;
+  sim::PerfCounters counters;
+  sim::KernelTime time;
+  uint32_t sms = 0;
+
+  double Elapsed() const { return time.Elapsed(); }
+};
+
+/// Access-accounting interface handed to kernels.
+///
+/// The functional data accesses happen through raw pointers; kernels call
+/// these methods to account the corresponding simulated traffic. Sequential
+/// bulk traffic should use the *Seq methods (O(pages) accounting); per-tuple
+/// random accesses use the *Rand methods (one TLB replay each).
+class KernelContext {
+ public:
+  KernelContext(Device* device, const KernelConfig& config);
+
+  // --- Sequential (streamed, perfectly coalesced) traffic ---
+
+  /// Accounts a sequential read of [offset, offset+size) from `buf`.
+  void ReadSeq(const mem::Buffer& buf, uint64_t offset, uint64_t size);
+  /// Accounts a sequential write.
+  void WriteSeq(const mem::Buffer& buf, uint64_t offset, uint64_t size);
+
+  // --- Random (per-access) traffic ---
+
+  /// Accounts one random read of `size` bytes at `offset`; the access is
+  /// coalesced exactly as issued (size and alignment matter: Figure 6).
+  void ReadRand(const mem::Buffer& buf, uint64_t offset, uint64_t size);
+  /// Accounts one random write.
+  void WriteRand(const mem::Buffer& buf, uint64_t offset, uint64_t size);
+
+  /// Accounts a buffer flush: `size` bytes written contiguously at
+  /// `offset`. Flushes of a multiple of the transaction size with matching
+  /// alignment achieve perfect coalescing; others split (Figure 18b).
+  void Flush(const mem::Buffer& buf, uint64_t offset, uint64_t size) {
+    WriteRand(buf, offset, size);
+  }
+
+  // --- Traffic with caller-managed translation ---
+  // Partitioning kernels model the per-SM L1 TLB / shared-L2-slice
+  // hierarchy themselves (sim::BlockTlb); these variants account packets
+  // and bytes only, leaving TLB replay to the caller.
+
+  /// Accounts a write without TLB replay. `random` selects per-access
+  /// packetization (true) vs bulk (false).
+  void WriteNoTlb(const mem::Buffer& buf, uint64_t offset, uint64_t size,
+                  bool random) {
+    Account(buf.base_addr() + offset, size, buf.LocationOf(offset),
+            /*is_write=*/true, random, /*replay_tlb=*/false);
+  }
+
+  /// Accounts a read without TLB replay.
+  void ReadNoTlb(const mem::Buffer& buf, uint64_t offset, uint64_t size,
+                 bool random) {
+    Account(buf.base_addr() + offset, size, buf.LocationOf(offset),
+            /*is_write=*/false, random, /*replay_tlb=*/false);
+  }
+
+  // --- Execution accounting ---
+
+  /// Charges `n` warp-instruction issue slots.
+  void Charge(uint64_t n) { counters_.issue_slots += n; }
+
+  /// Marks `n` tuples as processed by this kernel.
+  void AddTuples(uint64_t n) { counters_.tuples += n; }
+
+  /// Scratchpad capacity available to one thread block.
+  uint64_t scratchpad_bytes() const;
+
+  /// Warp width of the simulated GPU.
+  uint32_t warp_size() const;
+
+  /// Total latency of the random accesses accounted so far (for
+  /// latency-bound kernels) and their count.
+  double random_latency_sum() const { return random_latency_sum_; }
+  uint64_t random_accesses() const { return random_accesses_; }
+
+  sim::PerfCounters& counters() { return counters_; }
+  const sim::HwSpec& hw() const;
+
+ private:
+  friend class Device;
+
+  /// Routes one access of `size` bytes at absolute address `addr` located
+  /// in `loc`. `replay_tlb` controls whether this access replays a device
+  /// L2 TLB lookup (random accesses through the public Read/Write methods
+  /// do; partitioners with their own BlockTlb do not).
+  void Account(uint64_t addr, uint64_t size, sim::PageLocation loc,
+               bool is_write, bool is_random, bool replay_tlb = true);
+
+  Device* device_;
+  KernelConfig config_;
+  sim::PerfCounters counters_;
+  double random_latency_sum_ = 0.0;
+  uint64_t random_accesses_ = 0;
+};
+
+/// The simulated GPU.
+class Device {
+ public:
+  explicit Device(const sim::HwSpec& hw);
+
+  /// Runs `body` as one kernel and returns its record. The GPU TLB is
+  /// flushed before the kernel starts.
+  KernelRecord Launch(const KernelConfig& config,
+                      const std::function<void(KernelContext&)>& body);
+
+  /// Appends an externally-computed record (CPU-side phases use this so
+  /// they appear in the same trace).
+  void Record(const KernelRecord& record) { trace_.push_back(record); }
+
+  mem::Allocator& allocator() { return allocator_; }
+  const sim::HwSpec& hw() const { return hw_; }
+  const sim::CostModel& cost_model() const { return cost_model_; }
+  sim::TlbSimulator& tlb() { return tlb_; }
+  const sim::Packetizer& packetizer() const { return packetizer_; }
+
+  /// Launch trace since the last ClearTrace().
+  const std::vector<KernelRecord>& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+  /// Sum of elapsed times over the trace (no overlap).
+  double TraceElapsed() const;
+
+ private:
+  friend class KernelContext;
+
+  sim::HwSpec hw_;
+  sim::CostModel cost_model_;
+  sim::Packetizer packetizer_;
+  sim::TlbSimulator tlb_;
+  mem::Allocator allocator_;
+  std::vector<KernelRecord> trace_;
+};
+
+}  // namespace triton::exec
+
+#endif  // TRITON_EXEC_DEVICE_H_

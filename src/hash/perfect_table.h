@@ -1,0 +1,67 @@
+// Perfect (array) hash table.
+//
+// For dense primary keys 1..N the build side can be stored as a plain
+// array indexed by key-1 — the paper's "perfect hashing" / array-join
+// variant (Schuh et al.). One 16-byte <key, value> entry per slot; a zero
+// key marks an empty slot (generated keys start at 1).
+
+#ifndef TRITON_HASH_PERFECT_TABLE_H_
+#define TRITON_HASH_PERFECT_TABLE_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace triton::hash {
+
+/// One 16-byte hash table entry.
+struct Entry {
+  int64_t key = 0;
+  int64_t value = 0;
+};
+
+/// Array table over caller-provided storage of `capacity` entries.
+/// Keys must lie in [1, capacity].
+class PerfectTable {
+ public:
+  PerfectTable(Entry* slots, uint64_t capacity)
+      : slots_(slots), capacity_(capacity) {}
+
+  uint64_t capacity() const { return capacity_; }
+
+  /// Byte size of the backing storage for a given key domain.
+  static uint64_t StorageBytes(uint64_t key_domain) {
+    return key_domain * sizeof(Entry);
+  }
+
+  /// Slot index a key maps to.
+  uint64_t SlotOf(int64_t key) const {
+    DCHECK_GE(key, 1);
+    DCHECK_LE(static_cast<uint64_t>(key), capacity_);
+    return static_cast<uint64_t>(key - 1);
+  }
+
+  /// Inserts a key/value pair (exactly one insert per key).
+  void Insert(int64_t key, int64_t value) {
+    Entry& e = slots_[SlotOf(key)];
+    e.key = key;
+    e.value = value;
+  }
+
+  /// Probes for a key; returns true and sets *value on a match.
+  bool Probe(int64_t key, int64_t* value) const {
+    if (key < 1 || static_cast<uint64_t>(key) > capacity_) return false;
+    const Entry& e = slots_[SlotOf(key)];
+    if (e.key != key) return false;
+    *value = e.value;
+    return true;
+  }
+
+ private:
+  Entry* slots_;
+  uint64_t capacity_;
+};
+
+}  // namespace triton::hash
+
+#endif  // TRITON_HASH_PERFECT_TABLE_H_

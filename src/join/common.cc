@@ -1,0 +1,44 @@
+#include "join/common.h"
+
+#include <unordered_map>
+
+namespace triton::join {
+
+const char* HashSchemeName(HashScheme scheme) {
+  switch (scheme) {
+    case HashScheme::kPerfect:
+      return "Perfect";
+    case HashScheme::kLinearProbing:
+      return "LinearProbing";
+    case HashScheme::kBucketChaining:
+      return "BucketChaining";
+  }
+  return "Unknown";
+}
+
+double JoinRun::PhaseTime(const std::string& substr) const {
+  double total = 0.0;
+  for (const auto& p : phases) {
+    if (p.name.find(substr) != std::string::npos) total += p.Elapsed();
+  }
+  return total;
+}
+
+uint64_t ReferenceChecksum(const data::Relation& r, const data::Relation& s) {
+  std::unordered_multimap<data::Key, data::Value> index;
+  index.reserve(r.rows() * 2);
+  for (uint64_t i = 0; i < r.rows(); ++i) {
+    index.emplace(r.keys()[i], r.payload(0)[i]);
+  }
+  uint64_t checksum = 0;
+  for (uint64_t j = 0; j < s.rows(); ++j) {
+    auto [lo, hi] = index.equal_range(s.keys()[j]);
+    for (auto it = lo; it != hi; ++it) {
+      checksum += static_cast<uint64_t>(it->second) +
+                  static_cast<uint64_t>(s.payload(0)[j]);
+    }
+  }
+  return checksum;
+}
+
+}  // namespace triton::join

@@ -1,0 +1,157 @@
+#include "mem/allocator.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/bits.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace triton::mem {
+
+Buffer::~Buffer() {
+  if (owner_ != nullptr) {
+    owner_->Free(*this);
+  } else if (data_ != nullptr) {
+    std::free(data_);
+    data_ = nullptr;
+  }
+}
+
+Buffer::Buffer(Buffer&& other) noexcept { *this = std::move(other); }
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    if (owner_ != nullptr) {
+      owner_->Free(*this);
+    } else if (data_ != nullptr) {
+      std::free(data_);
+    }
+    data_ = other.data_;
+    size_ = other.size_;
+    page_bytes_ = other.page_bytes_;
+    gpu_bytes_ = other.gpu_bytes_;
+    placement_ = other.placement_;
+    owner_ = other.owner_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.gpu_bytes_ = 0;
+    other.owner_ = nullptr;
+  }
+  return *this;
+}
+
+Allocator::Allocator(const sim::HwSpec& hw) : hw_(hw) {
+  CHECK_GT(hw_.tlb.page_bytes, 0u);
+}
+
+Allocator::~Allocator() {
+  if (live_buffers_ != 0) {
+    LOG(WARNING) << "Allocator destroyed with " << live_buffers_
+                 << " live buffers";
+  }
+}
+
+util::StatusOr<Buffer> Allocator::AllocateImpl(uint64_t bytes,
+                                               Placement placement) {
+  if (bytes == 0) {
+    return util::Status::InvalidArgument("cannot allocate 0 bytes");
+  }
+  const uint64_t page = hw_.tlb.page_bytes;
+  uint64_t padded = util::AlignUp(bytes, page);
+  uint64_t num_pages = padded / page;
+
+  // Count GPU pages in the placement pattern over this allocation.
+  uint64_t gpu_pages = 0;
+  uint32_t group = placement.group_size();
+  uint64_t full_groups = num_pages / group;
+  gpu_pages += full_groups * placement.gpu_pages_per_group;
+  for (uint64_t p = full_groups * group; p < num_pages; ++p) {
+    if (placement.LocationOfPage(p) == sim::PageLocation::kGpuMem) ++gpu_pages;
+  }
+  uint64_t gpu_bytes = gpu_pages * page;
+  uint64_t cpu_bytes = padded - gpu_bytes;
+
+  if (gpu_used_ + gpu_bytes > gpu_capacity()) {
+    return util::Status::OutOfMemory(
+        "GPU memory exhausted: need " + util::FormatBytes(gpu_bytes) +
+        ", free " + util::FormatBytes(gpu_free()));
+  }
+  if (cpu_used_ + cpu_bytes > cpu_capacity()) {
+    return util::Status::OutOfMemory(
+        "CPU memory exhausted: need " + util::FormatBytes(cpu_bytes) +
+        ", used " + util::FormatBytes(cpu_used_));
+  }
+
+  // Align host allocations to the simulated page size so that TLB-range
+  // arithmetic on real pointers is exact.
+  uint64_t align = std::min<uint64_t>(page, 1 * util::kMiB);
+  void* data = std::aligned_alloc(align, padded);
+  if (data == nullptr) {
+    return util::Status::OutOfMemory("host allocation failed for " +
+                                     util::FormatBytes(padded));
+  }
+
+  gpu_used_ += gpu_bytes;
+  cpu_used_ += cpu_bytes;
+  ++live_buffers_;
+
+  Buffer buf;
+  buf.data_ = static_cast<uint8_t*>(data);
+  buf.size_ = bytes;
+  buf.page_bytes_ = page;
+  buf.gpu_bytes_ = gpu_bytes;
+  buf.placement_ = placement;
+  buf.owner_ = this;
+  return buf;
+}
+
+util::StatusOr<Buffer> Allocator::AllocateGpu(uint64_t bytes) {
+  return AllocateImpl(bytes, Placement::AllGpu());
+}
+
+util::StatusOr<Buffer> Allocator::AllocateCpu(uint64_t bytes) {
+  return AllocateImpl(bytes, Placement::AllCpu());
+}
+
+util::StatusOr<Buffer> Allocator::AllocateInterleaved(uint64_t bytes,
+                                                      uint64_t gpu_bytes) {
+  if (gpu_bytes == 0) return AllocateCpu(bytes);
+  if (gpu_bytes >= bytes) return AllocateGpu(bytes);
+
+  // Choose the smallest integer ratio g:c with g+c <= 64 approximating
+  // gpu_bytes/bytes from below (never overshooting the GPU budget), e.g.
+  // one GPU page after every two CPU pages.
+  double frac = static_cast<double>(gpu_bytes) / static_cast<double>(bytes);
+  uint32_t best_g = 0, best_c = 1;
+  double best_err = 1.0;
+  for (uint32_t total = 2; total <= 64; ++total) {
+    uint32_t g = static_cast<uint32_t>(frac * static_cast<double>(total));
+    if (g == 0 || g >= total) continue;
+    double err = frac - static_cast<double>(g) / total;
+    if (err >= 0.0 && err < best_err - 1e-12) {
+      best_err = err;
+      best_g = g;
+      best_c = total - g;
+    }
+  }
+  if (best_g == 0) return AllocateCpu(bytes);
+  Placement placement{best_g, best_c};
+  return AllocateImpl(bytes, placement);
+}
+
+void Allocator::Free(Buffer& buffer) {
+  if (buffer.data_ == nullptr) return;
+  CHECK(buffer.owner_ == this);
+  uint64_t padded = util::AlignUp(buffer.size_, buffer.page_bytes_);
+  gpu_used_ -= buffer.gpu_bytes_;
+  cpu_used_ -= padded - buffer.gpu_bytes_;
+  --live_buffers_;
+  std::free(buffer.data_);
+  buffer.data_ = nullptr;
+  buffer.size_ = 0;
+  buffer.gpu_bytes_ = 0;
+  buffer.owner_ = nullptr;
+}
+
+}  // namespace triton::mem

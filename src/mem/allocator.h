@@ -1,0 +1,65 @@
+// Capacity-tracking allocator for simulated GPU and CPU memory.
+//
+// GPU memory is the scarce resource the paper scales against: the allocator
+// enforces the (scaled) 16 GiB on-board capacity and returns OutOfMemory
+// when a GPU allocation would exceed it, which is what triggers spilling in
+// the Triton join. CPU memory is checked against the (much larger) socket
+// capacity.
+
+#ifndef TRITON_MEM_ALLOCATOR_H_
+#define TRITON_MEM_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "mem/buffer.h"
+#include "sim/hw_spec.h"
+#include "util/status.h"
+
+namespace triton::mem {
+
+/// Allocates simulated-placement buffers and tracks pool usage.
+class Allocator {
+ public:
+  explicit Allocator(const sim::HwSpec& hw);
+  ~Allocator();
+
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  /// Allocates `bytes` entirely in GPU memory. Fails with OutOfMemory when
+  /// the GPU capacity would be exceeded.
+  util::StatusOr<Buffer> AllocateGpu(uint64_t bytes);
+
+  /// Allocates `bytes` in pageable CPU memory (2 MiB simulated huge pages).
+  util::StatusOr<Buffer> AllocateCpu(uint64_t bytes);
+
+  /// Allocates `bytes` with `gpu_bytes` of it placed in GPU memory, the
+  /// rest in CPU memory, interleaved at page granularity in proportion to
+  /// the two sizes (Section 5.3). gpu_bytes == 0 degenerates to AllocateCpu
+  /// and gpu_bytes >= bytes to AllocateGpu.
+  util::StatusOr<Buffer> AllocateInterleaved(uint64_t bytes,
+                                             uint64_t gpu_bytes);
+
+  /// Frees a buffer explicitly (also happens on Buffer destruction).
+  void Free(Buffer& buffer);
+
+  uint64_t gpu_used() const { return gpu_used_; }
+  uint64_t gpu_capacity() const { return hw_.gpu_mem.capacity; }
+  uint64_t gpu_free() const { return gpu_capacity() - gpu_used_; }
+  uint64_t cpu_used() const { return cpu_used_; }
+  uint64_t cpu_capacity() const { return hw_.cpu_mem.capacity; }
+
+  uint64_t page_bytes() const { return hw_.tlb.page_bytes; }
+
+ private:
+  util::StatusOr<Buffer> AllocateImpl(uint64_t bytes, Placement placement);
+
+  sim::HwSpec hw_;
+  uint64_t gpu_used_ = 0;
+  uint64_t cpu_used_ = 0;
+  int64_t live_buffers_ = 0;
+};
+
+}  // namespace triton::mem
+
+#endif  // TRITON_MEM_ALLOCATOR_H_

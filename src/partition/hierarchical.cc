@@ -1,0 +1,171 @@
+#include "partition/hierarchical.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "partition/shared.h"
+#include "util/bits.h"
+
+namespace triton::partition {
+
+uint32_t L2BufferTuples(const HierarchicalConfig& config, uint64_t gpu_free,
+                        uint32_t num_blocks, uint32_t fanout) {
+  uint64_t budget = static_cast<uint64_t>(
+      static_cast<double>(gpu_free) * config.gpu_budget_fraction);
+  uint64_t per_buffer = budget / (static_cast<uint64_t>(num_blocks) * fanout *
+                                  sizeof(Tuple));
+  if (per_buffer >= 8) per_buffer -= per_buffer % 8;
+  per_buffer = std::clamp<uint64_t>(per_buffer, config.min_l2_tuples,
+                                    config.max_l2_tuples);
+  return static_cast<uint32_t>(per_buffer);
+}
+
+uint32_t HierarchicalRecommendedBlocks(const HierarchicalConfig& config,
+                                       const sim::HwSpec& hw,
+                                       uint64_t gpu_free, uint32_t fanout) {
+  uint64_t budget = static_cast<uint64_t>(
+      static_cast<double>(gpu_free) * config.gpu_budget_fraction);
+  // Each block wants >= 256-tuple (4 KiB) L2 buffers per partition.
+  uint64_t per_block = static_cast<uint64_t>(fanout) * 256 * sizeof(Tuple);
+  uint64_t blocks = per_block > 0 ? budget / per_block : hw.gpu.num_sms;
+  return static_cast<uint32_t>(
+      std::clamp<uint64_t>(blocks, 1, hw.gpu.num_sms));
+}
+
+namespace {
+
+constexpr double kFlushCycles = 8.0;
+
+}  // namespace
+
+template <typename Input>
+PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
+                                          const Input& input,
+                                          const PartitionLayout& layout,
+                                          mem::Buffer& out,
+                                          const PartitionOptions& opts) {
+  Tuple* out_rows = out.as<Tuple>();
+  const RadixConfig radix = layout.radix();
+  const uint32_t fanout = radix.fanout();
+  const uint32_t l1_cap =
+      SwwcBufferTuples(dev.hw().gpu.scratchpad_bytes, fanout);
+  const uint32_t num_blocks =
+      opts.num_blocks == 0 ? layout.num_blocks() : opts.num_blocks;
+  const uint32_t l2_cap = std::max(
+      2 * l1_cap, L2BufferTuples(config_, dev.allocator().gpu_free(),
+                                 num_blocks, fanout));
+
+  // L2 buffers live in GPU memory; allocate (and account) them for real so
+  // capacity pressure on the GPU is honest. One buffer per (block,
+  // partition) plus one spare per warp would be the physical layout; the
+  // simulation reuses one block's worth at a time.
+  uint64_t l2_bytes =
+      static_cast<uint64_t>(fanout) * l2_cap * sizeof(Tuple);
+  auto l2_storage = dev.allocator().AllocateGpu(std::max<uint64_t>(
+      l2_bytes, 1));
+  // If GPU memory is too tight even for one block's L2 buffers, degrade
+  // to Shared behaviour (l2 == l1 eviction is a plain flush).
+  const bool have_l2 = l2_storage.ok();
+
+  PartitionOptions o = opts;
+  if (o.name.empty()) o.name = "hierarchical";
+  PartitionRun run = internal::RunPartitionKernel(
+      dev, input, layout, o, kPartitionCyclesPerTuple,
+      [&](exec::KernelContext& ctx, internal::BlockState& st, uint64_t begin,
+          uint64_t end) -> uint64_t {
+        std::vector<Tuple> l1(static_cast<uint64_t>(fanout) * l1_cap);
+        std::vector<uint32_t> l1_fill(fanout, 0);
+        std::vector<Tuple> l2(have_l2
+                                  ? static_cast<uint64_t>(fanout) * l2_cap
+                                  : 0);
+        std::vector<uint32_t> l2_fill(fanout, 0);
+        uint64_t flushes = 0;
+
+        // L2 flush: one large, aligned write to the output (asynchronous on
+        // the real GPU thanks to the spare-buffer swap; the swap itself is
+        // a pointer update inside the critical section).
+        auto flush_l2 = [&](uint32_t p, uint32_t count) {
+          uint64_t at = st.cursors[p];
+          for (uint32_t i = 0; i < count; ++i) {
+            out_rows[at + i] = l2[static_cast<uint64_t>(p) * l2_cap + i];
+          }
+          // Reading the staged tuples back out of GPU memory.
+          ctx.ReadNoTlb(*l2_storage, static_cast<uint64_t>(p) * l2_cap *
+                                         sizeof(Tuple),
+                        static_cast<uint64_t>(count) * sizeof(Tuple),
+                        /*random=*/false);
+          internal::AccountFlush(ctx, *st.tlb, out, at, count);
+          ctx.Charge(static_cast<uint64_t>(kFlushCycles));
+          st.cursors[p] = at + count;
+          l2_fill[p] = 0;
+          ++flushes;
+        };
+
+        // L1 eviction: append the full scratchpad buffer to the partition's
+        // L2 buffer in GPU memory.
+        auto evict_l1 = [&](uint32_t p, uint32_t count) {
+          if (!have_l2) {
+            // Degraded mode: flush L1 straight to the output.
+            uint64_t at = st.cursors[p];
+            for (uint32_t i = 0; i < count; ++i) {
+              out_rows[at + i] = l1[static_cast<uint64_t>(p) * l1_cap + i];
+            }
+            internal::AccountFlush(ctx, *st.tlb, out, at, count);
+            ctx.Charge(static_cast<uint64_t>(kFlushCycles));
+            st.cursors[p] = at + count;
+            l1_fill[p] = 0;
+            ++flushes;
+            return;
+          }
+          if (l2_fill[p] + count > l2_cap) flush_l2(p, l2_fill[p]);
+          for (uint32_t i = 0; i < count; ++i) {
+            l2[static_cast<uint64_t>(p) * l2_cap + l2_fill[p] + i] =
+                l1[static_cast<uint64_t>(p) * l1_cap + i];
+          }
+          ctx.WriteNoTlb(*l2_storage,
+                         (static_cast<uint64_t>(p) * l2_cap + l2_fill[p]) *
+                             sizeof(Tuple),
+                         static_cast<uint64_t>(count) * sizeof(Tuple),
+                         /*random=*/false);
+          l2_fill[p] += count;
+          l1_fill[p] = 0;
+        };
+
+        for (uint64_t i = begin; i < end; ++i) {
+          Tuple t = input.Get(i);
+          uint32_t p = radix.PartitionOf(t.key);
+          if (l1_fill[p] == l1_cap) evict_l1(p, l1_cap);
+          l1[static_cast<uint64_t>(p) * l1_cap + l1_fill[p]++] = t;
+        }
+        // Drain both levels at end of input.
+        for (uint32_t p = 0; p < fanout; ++p) {
+          if (l1_fill[p] > 0) evict_l1(p, l1_fill[p]);
+          if (have_l2 && l2_fill[p] > 0) flush_l2(p, l2_fill[p]);
+        }
+        return flushes;
+      });
+  if (l2_storage.ok()) dev.allocator().Free(*l2_storage);
+  return run;
+}
+
+PartitionRun HierarchicalPartitioner::PartitionColumns(
+    exec::Device& dev, const ColumnInput& input, const PartitionLayout& layout,
+    mem::Buffer& out, const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+PartitionRun HierarchicalPartitioner::PartitionRows(
+    exec::Device& dev, const RowInput& input, const PartitionLayout& layout,
+    mem::Buffer& out, const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+PartitionRun HierarchicalPartitioner::PartitionSliced(exec::Device& dev,
+                                        const SlicedRowInput& input,
+                                        const PartitionLayout& layout,
+                                        mem::Buffer& out,
+                                        const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+}  // namespace triton::partition

@@ -1,0 +1,127 @@
+// Output layout of one radix-partitioning pass.
+//
+// The input is split into contiguous chunks, one per thread block. Each
+// block owns one *slice* per partition; the global layout orders slices
+// partition-major (partition p occupies slices (p, block 0..B-1) back to
+// back), so every partition is contiguous up to per-slice alignment
+// padding. Slice starts are padded to the interconnect transaction size so
+// that software-write-combining flushes stay perfectly coalesced
+// (Section 4.2's design discussion).
+
+#ifndef TRITON_PARTITION_LAYOUT_H_
+#define TRITON_PARTITION_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/input.h"
+#include "partition/radix.h"
+#include "util/logging.h"
+
+namespace triton::partition {
+
+/// Per-(partition, block) slice table; see file comment.
+class PartitionLayout {
+ public:
+  PartitionLayout() = default;
+
+  /// Builds the layout from per-block histograms. `histograms[b][p]` is the
+  /// number of block-b tuples falling in partition p. Slice starts are
+  /// aligned to `pad_tuples` tuples (1 = no padding).
+  PartitionLayout(RadixConfig radix,
+                  const std::vector<std::vector<uint64_t>>& histograms,
+                  uint32_t pad_tuples);
+
+  const RadixConfig& radix() const { return radix_; }
+  uint32_t fanout() const { return radix_.fanout(); }
+  uint32_t num_blocks() const { return num_blocks_; }
+
+  /// Total tuples of storage including padding.
+  uint64_t padded_tuples() const { return padded_tuples_; }
+  /// Total data tuples (sum of all slice sizes).
+  uint64_t data_tuples() const { return data_tuples_; }
+
+  /// Start offset (in tuples) of slice (partition, block).
+  uint64_t SliceBegin(uint32_t partition, uint32_t block) const {
+    return slice_begin_[Index(partition, block)];
+  }
+  /// Number of data tuples in slice (partition, block).
+  uint64_t SliceSize(uint32_t partition, uint32_t block) const {
+    return slice_size_[Index(partition, block)];
+  }
+
+  /// First storage offset of a partition.
+  uint64_t PartitionBegin(uint32_t partition) const {
+    return SliceBegin(partition, 0);
+  }
+  /// Storage extent of a partition including intra-partition padding.
+  uint64_t PartitionExtent(uint32_t partition) const {
+    uint64_t end = partition + 1 < fanout() ? PartitionBegin(partition + 1)
+                                            : padded_tuples_;
+    return end - PartitionBegin(partition);
+  }
+  /// Data tuples in a partition (excluding padding).
+  uint64_t PartitionSize(uint32_t partition) const {
+    return partition_size_[partition];
+  }
+
+  /// Invokes fn(slice_begin, slice_size) for every non-empty slice of the
+  /// partition, in storage order.
+  template <typename Fn>
+  void ForEachSlice(uint32_t partition, Fn&& fn) const {
+    for (uint32_t b = 0; b < num_blocks_; ++b) {
+      uint64_t n = SliceSize(partition, b);
+      if (n > 0) fn(SliceBegin(partition, b), n);
+    }
+  }
+
+ private:
+  uint64_t Index(uint32_t partition, uint32_t block) const {
+    DCHECK_LT(partition, fanout());
+    DCHECK_LT(block, num_blocks_);
+    return static_cast<uint64_t>(partition) * num_blocks_ + block;
+  }
+
+  RadixConfig radix_;
+  uint32_t num_blocks_ = 0;
+  uint64_t padded_tuples_ = 0;
+  uint64_t data_tuples_ = 0;
+  std::vector<uint64_t> slice_begin_;
+  std::vector<uint64_t> slice_size_;
+  std::vector<uint64_t> partition_size_;
+};
+
+/// Builds the SlicedRowInput for one partition of a partitioned buffer.
+inline SlicedRowInput PartitionInputOf(const mem::Buffer& rows,
+                                       const PartitionLayout& layout,
+                                       uint32_t p) {
+  std::vector<std::pair<uint64_t, uint64_t>> slices;
+  layout.ForEachSlice(p, [&](uint64_t begin, uint64_t count) {
+    slices.emplace_back(begin, count);
+  });
+  return SlicedRowInput(&rows, std::move(slices));
+}
+
+/// Computes per-block histograms for `input` split into `num_blocks`
+/// contiguous chunks (the functional part of the prefix-sum kernels).
+template <typename Input>
+std::vector<std::vector<uint64_t>> ComputeHistograms(const Input& input,
+                                                     RadixConfig radix,
+                                                     uint32_t num_blocks) {
+  std::vector<std::vector<uint64_t>> histograms(
+      num_blocks, std::vector<uint64_t>(radix.fanout(), 0));
+  const uint64_t n = input.size();
+  const uint64_t chunk = (n + num_blocks - 1) / num_blocks;
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    uint64_t begin = static_cast<uint64_t>(b) * chunk;
+    uint64_t end = std::min(n, begin + chunk);
+    for (uint64_t i = begin; i < end; ++i) {
+      ++histograms[b][radix.PartitionOf(input.Get(i).key)];
+    }
+  }
+  return histograms;
+}
+
+}  // namespace triton::partition
+
+#endif  // TRITON_PARTITION_LAYOUT_H_

@@ -1,0 +1,90 @@
+#include "partition/linear.h"
+
+#include <vector>
+
+namespace triton::partition {
+
+namespace {
+
+/// Extra per-tuple issue cost of the scratchpad sort: histogram, linear
+/// allocator and reorder are additional scratchpad passes, and the
+/// allocator's atomics serialize warps (the paper's Figure 18f shows
+/// Linear stalling on synchronization and pipe-busy, unlike Shared).
+constexpr double kLinearExtraCyclesPerTuple = 30.0;
+
+}  // namespace
+
+template <typename Input>
+PartitionRun LinearPartitioner::Run(exec::Device& dev, const Input& input,
+                                    const PartitionLayout& layout,
+                                    mem::Buffer& out,
+                                    const PartitionOptions& opts) {
+  Tuple* out_rows = out.as<Tuple>();
+  const RadixConfig radix = layout.radix();
+  const uint32_t fanout = radix.fanout();
+  // The whole scratchpad holds one batch.
+  const uint32_t batch_tuples = static_cast<uint32_t>(
+      dev.hw().gpu.scratchpad_bytes / sizeof(Tuple));
+
+  PartitionOptions o = opts;
+  if (o.name.empty()) o.name = "linear";
+  return internal::RunPartitionKernel(
+      dev, input, layout, o,
+      kPartitionCyclesPerTuple + kLinearExtraCyclesPerTuple,
+      [&](exec::KernelContext& ctx, internal::BlockState& st, uint64_t begin,
+          uint64_t end) -> uint64_t {
+        std::vector<uint32_t> counts(fanout);
+        uint64_t flushes = 0;
+        for (uint64_t base = begin; base < end; base += batch_tuples) {
+          uint64_t batch_end = std::min(end, base + batch_tuples);
+          // Sort the batch by partition inside the scratchpad (functional
+          // equivalent: per-partition run counting; the reorder itself is
+          // scratchpad-local and charged via the cycle constant).
+          std::fill(counts.begin(), counts.end(), 0u);
+          for (uint64_t i = base; i < batch_end; ++i) {
+            ++counts[radix.PartitionOf(input.Get(i).key)];
+          }
+          // Flush each partition's run to its cursor. Run lengths are
+          // data-dependent and cursors are not re-aligned, so coalescing is
+          // only opportunistic.
+          for (uint32_t p = 0; p < fanout; ++p) {
+            if (counts[p] == 0) continue;
+            internal::AccountFlush(ctx, *st.tlb, out, st.cursors[p],
+                                   counts[p]);
+            ++flushes;
+          }
+          // Functional scatter (stable within the batch).
+          for (uint64_t i = base; i < batch_end; ++i) {
+            Tuple t = input.Get(i);
+            out_rows[st.cursors[radix.PartitionOf(t.key)]++] = t;
+          }
+        }
+        return flushes;
+      });
+}
+
+PartitionRun LinearPartitioner::PartitionColumns(exec::Device& dev,
+                                                 const ColumnInput& input,
+                                                 const PartitionLayout& layout,
+                                                 mem::Buffer& out,
+                                                 const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+PartitionRun LinearPartitioner::PartitionRows(exec::Device& dev,
+                                              const RowInput& input,
+                                              const PartitionLayout& layout,
+                                              mem::Buffer& out,
+                                              const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+PartitionRun LinearPartitioner::PartitionSliced(exec::Device& dev,
+                                        const SlicedRowInput& input,
+                                        const PartitionLayout& layout,
+                                        mem::Buffer& out,
+                                        const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+}  // namespace triton::partition

@@ -1,0 +1,170 @@
+// Common interface and kernel driver for GPU radix-partitioning algorithms.
+//
+// A partitioner scatters the input into the row-format output buffer
+// according to a PartitionLayout computed by a prior prefix-sum phase. All
+// algorithms share the same block decomposition (one contiguous input chunk
+// per thread block, one output slice per (partition, block)) and differ in
+// how tuples are buffered and flushed — which is exactly where their
+// bandwidth and TLB behaviour comes from (Sections 4.2 and 4.3).
+
+#ifndef TRITON_PARTITION_PARTITIONER_H_
+#define TRITON_PARTITION_PARTITIONER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/device.h"
+#include "mem/buffer.h"
+#include "partition/input.h"
+#include "partition/layout.h"
+#include "sim/block_tlb.h"
+#include "util/logging.h"
+
+namespace triton::partition {
+
+/// SM-cycles charged per tuple by the buffering partitioners (hash, slot
+/// acquisition, scratchpad store; calibrated so that partitioning becomes
+/// link-bound above ~25 SMs as in Figure 24).
+inline constexpr double kPartitionCyclesPerTuple = 9.0;
+
+/// Launch options for one partitioning pass.
+struct PartitionOptions {
+  /// SMs allocated (0 = all).
+  uint32_t sms = 0;
+  /// Thread blocks (0 = one per allocated SM).
+  uint32_t num_blocks = 0;
+  /// Kernel name in the device trace.
+  std::string name = "partition";
+};
+
+/// Result of one partitioning pass.
+struct PartitionRun {
+  exec::KernelRecord record;
+  /// Total buffer flushes issued (all blocks).
+  uint64_t flushes = 0;
+
+  double Elapsed() const { return record.Elapsed(); }
+
+  /// Tuples scattered per link write transaction (Figure 18b).
+  double TuplesPerWriteTxn() const {
+    return record.counters.link_write_txns == 0
+               ? 0.0
+               : static_cast<double>(record.counters.tuples) /
+                     static_cast<double>(record.counters.link_write_txns);
+  }
+};
+
+/// Abstract GPU radix partitioner.
+class GpuPartitioner {
+ public:
+  virtual ~GpuPartitioner() = default;
+
+  /// Algorithm name ("Standard", "Linear", "Shared", "Hierarchical").
+  virtual const char* name() const = 0;
+
+  /// Scatters columnar input (pass 1 over base relations).
+  virtual PartitionRun PartitionColumns(exec::Device& dev,
+                                        const ColumnInput& input,
+                                        const PartitionLayout& layout,
+                                        mem::Buffer& out,
+                                        const PartitionOptions& opts) = 0;
+
+  /// Scatters row-format input (later passes).
+  virtual PartitionRun PartitionRows(exec::Device& dev, const RowInput& input,
+                                     const PartitionLayout& layout,
+                                     mem::Buffer& out,
+                                     const PartitionOptions& opts) = 0;
+
+  /// Scatters a sliced row view (a pass-1 partition read through its
+  /// per-block slices).
+  virtual PartitionRun PartitionSliced(exec::Device& dev,
+                                       const SlicedRowInput& input,
+                                       const PartitionLayout& layout,
+                                       mem::Buffer& out,
+                                       const PartitionOptions& opts) = 0;
+};
+
+namespace internal {
+
+/// Per-block execution state handed to algorithm callbacks.
+struct BlockState {
+  uint32_t block = 0;
+  /// Write cursors, one per partition, in tuple units within `out`.
+  std::vector<uint64_t> cursors;
+  sim::BlockTlb* tlb = nullptr;
+};
+
+/// Accounts one output flush of `count` tuples at tuple offset `at`:
+/// packetizes the write and replays the block TLB once per translation
+/// range the flush touches. Returns nothing; counters accumulate in ctx.
+inline void AccountFlush(exec::KernelContext& ctx, sim::BlockTlb& tlb,
+                         const mem::Buffer& out, uint64_t at, uint64_t count) {
+  const uint64_t offset = at * sizeof(Tuple);
+  const uint64_t size = count * sizeof(Tuple);
+  ctx.WriteNoTlb(out, offset, size, /*random=*/true);
+  const uint64_t range = ctx.hw().tlb.l2_entry_range;
+  const uint64_t addr = out.base_addr() + offset;
+  for (uint64_t r = addr / range; r <= (addr + size - 1) / range; ++r) {
+    tlb.Access(r * range, out.LocationOf(offset), &ctx.counters());
+  }
+}
+
+/// Shared kernel driver: splits the input into per-block chunks, accounts
+/// the streamed input read, sets up cursors and the block TLB, and invokes
+/// `per_block(ctx, state, begin, end)` for each block, which returns the
+/// number of flushes it issued. `cycles_per_tuple` is charged automatically.
+template <typename Input, typename PerBlockFn>
+PartitionRun RunPartitionKernel(exec::Device& dev, const Input& input,
+                                const PartitionLayout& layout,
+                                const PartitionOptions& opts,
+                                double cycles_per_tuple,
+                                PerBlockFn&& per_block) {
+  PartitionRun run;
+  uint64_t total_flushes = 0;
+  exec::KernelConfig cfg;
+  cfg.name = opts.name;
+  cfg.sms = opts.sms == 0 ? dev.hw().gpu.num_sms : opts.sms;
+  const uint32_t num_blocks =
+      opts.num_blocks == 0 ? layout.num_blocks() : opts.num_blocks;
+  CHECK_EQ(num_blocks, layout.num_blocks())
+      << "layout was computed for a different grid";
+
+  run.record = dev.Launch(cfg, [&](exec::KernelContext& ctx) {
+    const uint64_t n = input.size();
+    const uint64_t chunk = (n + num_blocks - 1) / num_blocks;
+    const uint32_t fanout = layout.fanout();
+    for (uint32_t b = 0; b < num_blocks; ++b) {
+      uint64_t begin = static_cast<uint64_t>(b) * chunk;
+      uint64_t end = std::min(n, begin + chunk);
+      if (begin >= end) continue;
+      input.AccountRead(ctx, begin, end);
+
+      sim::BlockTlb tlb(dev.hw().tlb, num_blocks, &dev.tlb());
+      BlockState state;
+      state.block = b;
+      state.tlb = &tlb;
+      state.cursors.resize(fanout);
+      for (uint32_t p = 0; p < fanout; ++p) {
+        state.cursors[p] = layout.SliceBegin(p, b);
+      }
+      total_flushes += per_block(ctx, state, begin, end);
+
+      // Verify the block wrote exactly its slice sizes.
+      for (uint32_t p = 0; p < fanout; ++p) {
+        DCHECK_EQ(state.cursors[p],
+                  layout.SliceBegin(p, b) + layout.SliceSize(p, b));
+      }
+    }
+    ctx.AddTuples(n);
+    ctx.Charge(static_cast<uint64_t>(n * cycles_per_tuple));
+  });
+  run.flushes = total_flushes;
+  return run;
+}
+
+}  // namespace internal
+}  // namespace triton::partition
+
+#endif  // TRITON_PARTITION_PARTITIONER_H_

@@ -1,0 +1,39 @@
+// Radix partitioning configuration.
+//
+// Multi-pass radix partitioning consumes disjoint bit ranges of the hashed
+// join key: pass 1 uses bits [0, B1), pass 2 bits [B1, B1+B2), etc., where
+// bit positions count hash bits already consumed (see hash/hash_fn.h).
+
+#ifndef TRITON_PARTITION_RADIX_H_
+#define TRITON_PARTITION_RADIX_H_
+
+#include <cstdint>
+
+#include "data/relation.h"
+#include "hash/hash_fn.h"
+
+namespace triton::partition {
+
+/// One radix pass: `bits` hash bits after `shift` already-consumed bits.
+struct RadixConfig {
+  uint32_t shift = 0;
+  uint32_t bits = 0;
+
+  /// Number of partitions this pass produces.
+  uint32_t fanout() const { return 1u << bits; }
+
+  /// Partition index of a key.
+  uint32_t PartitionOf(data::Key key) const {
+    return static_cast<uint32_t>(
+        hash::RadixPartition(static_cast<uint64_t>(key), shift, bits));
+  }
+
+  /// Config for the pass following this one, consuming `next_bits`.
+  RadixConfig Next(uint32_t next_bits) const {
+    return RadixConfig{shift + bits, next_bits};
+  }
+};
+
+}  // namespace triton::partition
+
+#endif  // TRITON_PARTITION_RADIX_H_

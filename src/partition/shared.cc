@@ -1,0 +1,98 @@
+#include "partition/shared.h"
+
+#include <vector>
+
+namespace triton::partition {
+
+uint32_t SwwcBufferTuples(uint64_t scratchpad_bytes, uint32_t fanout) {
+  uint64_t cap = scratchpad_bytes / (static_cast<uint64_t>(fanout) *
+                                     sizeof(Tuple));
+  if (cap >= 8) cap -= cap % 8;  // whole 128-byte transactions
+  if (cap == 0) cap = 1;
+  return static_cast<uint32_t>(cap);
+}
+
+namespace {
+
+/// Extra issue-slot cost of one flush. Flushing occupies the warp even
+/// when the buffer holds fewer than 32 tuples, which is why compute
+/// utilization climbs at very high fanouts (Figure 18e).
+constexpr double kFlushCycles = 8.0;
+
+}  // namespace
+
+template <typename Input>
+PartitionRun SharedPartitioner::Run(exec::Device& dev, const Input& input,
+                                    const PartitionLayout& layout,
+                                    mem::Buffer& out,
+                                    const PartitionOptions& opts) {
+  Tuple* out_rows = out.as<Tuple>();
+  const RadixConfig radix = layout.radix();
+  const uint32_t fanout = radix.fanout();
+  const uint32_t cap = SwwcBufferTuples(dev.hw().gpu.scratchpad_bytes, fanout);
+
+  PartitionOptions o = opts;
+  if (o.name.empty()) o.name = "shared";
+  return internal::RunPartitionKernel(
+      dev, input, layout, o, kPartitionCyclesPerTuple,
+      [&](exec::KernelContext& ctx, internal::BlockState& st, uint64_t begin,
+          uint64_t end) -> uint64_t {
+        // Block-shared scratchpad buffers: one per partition, `cap` tuples.
+        std::vector<Tuple> buffers(static_cast<uint64_t>(fanout) * cap);
+        std::vector<uint32_t> fill(fanout, 0);
+        uint64_t flushes = 0;
+
+        auto flush = [&](uint32_t p, uint32_t count) {
+          uint64_t at = st.cursors[p];
+          for (uint32_t i = 0; i < count; ++i) {
+            out_rows[at + i] = buffers[static_cast<uint64_t>(p) * cap + i];
+          }
+          internal::AccountFlush(ctx, *st.tlb, out, at, count);
+          ctx.Charge(static_cast<uint64_t>(kFlushCycles));
+          st.cursors[p] = at + count;
+          fill[p] = 0;
+          ++flushes;
+        };
+
+        // Fill phase: every thread hashes its tuple and acquires a buffer
+        // slot; a thread hitting a full buffer triggers the flush phase for
+        // that buffer (Figure 8's steps, warp-synchronous).
+        for (uint64_t i = begin; i < end; ++i) {
+          Tuple t = input.Get(i);
+          uint32_t p = radix.PartitionOf(t.key);
+          if (fill[p] == cap) flush(p, cap);
+          buffers[static_cast<uint64_t>(p) * cap + fill[p]++] = t;
+        }
+        // End of input: drain the partially filled buffers.
+        for (uint32_t p = 0; p < fanout; ++p) {
+          if (fill[p] > 0) flush(p, fill[p]);
+        }
+        return flushes;
+      });
+}
+
+PartitionRun SharedPartitioner::PartitionColumns(exec::Device& dev,
+                                                 const ColumnInput& input,
+                                                 const PartitionLayout& layout,
+                                                 mem::Buffer& out,
+                                                 const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+PartitionRun SharedPartitioner::PartitionRows(exec::Device& dev,
+                                              const RowInput& input,
+                                              const PartitionLayout& layout,
+                                              mem::Buffer& out,
+                                              const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+PartitionRun SharedPartitioner::PartitionSliced(exec::Device& dev,
+                                        const SlicedRowInput& input,
+                                        const PartitionLayout& layout,
+                                        mem::Buffer& out,
+                                        const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+}  // namespace triton::partition

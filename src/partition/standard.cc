@@ -1,0 +1,73 @@
+#include "partition/standard.h"
+
+namespace triton::partition {
+
+template <typename Input>
+PartitionRun StandardPartitioner::Run(exec::Device& dev, const Input& input,
+                                      const PartitionLayout& layout,
+                                      mem::Buffer& out,
+                                      const PartitionOptions& opts) {
+  Tuple* out_rows = out.as<Tuple>();
+  const RadixConfig radix = layout.radix();
+  PartitionOptions o = opts;
+  if (o.name.empty()) o.name = "standard";
+  return internal::RunPartitionKernel(
+      dev, input, layout, o, kPartitionCyclesPerTuple,
+      [&](exec::KernelContext& ctx, internal::BlockState& st, uint64_t begin,
+          uint64_t end) -> uint64_t {
+        // One warp scatters 32 tuples at a time. Lanes whose tuples fall in
+        // the same partition land on consecutive cursor slots, so the
+        // hardware coalescing unit merges them into one transaction — the
+        // only write combining Standard gets. With high fanouts the runs
+        // shrink to single tuples and every write is a 16-byte packet.
+        const uint32_t warp = ctx.warp_size();
+        const uint32_t fanout = radix.fanout();
+        std::vector<uint32_t> run_count(fanout, 0);
+        std::vector<uint32_t> touched;
+        touched.reserve(warp);
+        uint64_t writes = 0;
+        for (uint64_t i = begin; i < end; i += warp) {
+          uint64_t batch_end = std::min(end, i + warp);
+          for (uint64_t j = i; j < batch_end; ++j) {
+            uint32_t p = radix.PartitionOf(input.Get(j).key);
+            if (run_count[p]++ == 0) touched.push_back(p);
+          }
+          for (uint32_t p : touched) {
+            uint64_t at = st.cursors[p];
+            internal::AccountFlush(ctx, *st.tlb, out, at, run_count[p]);
+            ++writes;
+            run_count[p] = 0;
+          }
+          touched.clear();
+          for (uint64_t j = i; j < batch_end; ++j) {
+            Tuple t = input.Get(j);
+            out_rows[st.cursors[radix.PartitionOf(t.key)]++] = t;
+          }
+        }
+        return writes;
+      });
+}
+
+PartitionRun StandardPartitioner::PartitionColumns(
+    exec::Device& dev, const ColumnInput& input, const PartitionLayout& layout,
+    mem::Buffer& out, const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+PartitionRun StandardPartitioner::PartitionRows(exec::Device& dev,
+                                                const RowInput& input,
+                                                const PartitionLayout& layout,
+                                                mem::Buffer& out,
+                                                const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+PartitionRun StandardPartitioner::PartitionSliced(exec::Device& dev,
+                                        const SlicedRowInput& input,
+                                        const PartitionLayout& layout,
+                                        mem::Buffer& out,
+                                        const PartitionOptions& opts) {
+  return Run(dev, input, layout, out, opts);
+}
+
+}  // namespace triton::partition

@@ -1,0 +1,56 @@
+#include "sim/block_tlb.h"
+
+#include <algorithm>
+
+namespace triton::sim {
+
+BlockTlb::BlockTlb(const TlbSpec& spec, uint32_t resident_blocks,
+                   TlbSimulator* shared_iotlb)
+    : spec_(spec),
+      l1_(static_cast<uint64_t>(spec.l1_entries) * spec.l2_entry_range,
+          spec.l2_entry_range, /*ways=*/4),
+      l2_slice_(std::max<uint64_t>(
+                    spec.l2_coverage / std::max(resident_blocks, 1u),
+                    spec.l2_entry_range),
+                spec.l2_entry_range, /*ways=*/4),
+      l3_slice_(std::max<uint64_t>(
+                    spec.iotlb_coverage / std::max(resident_blocks, 1u),
+                    spec.l2_entry_range),
+                spec.l2_entry_range, /*ways=*/4),
+      shared_iotlb_(shared_iotlb) {}
+
+TranslationResult BlockTlb::Access(uint64_t addr, PageLocation loc,
+                                   PerfCounters* counters) {
+  counters->gpu_tlb_lookups += 1;
+  if (l1_.Access(addr)) {
+    TranslationResult r;
+    r.l2_hit = true;
+    r.latency = loc == PageLocation::kGpuMem ? spec_.gpu_mem_hit_latency
+                                             : spec_.cpu_mem_hit_latency;
+    return r;
+  }
+  if (l2_slice_.Access(addr)) {
+    TranslationResult r;
+    r.l2_hit = true;
+    r.latency = loc == PageLocation::kGpuMem ? spec_.gpu_mem_hit_latency
+                                             : spec_.cpu_mem_hit_latency;
+    return r;
+  }
+  if (loc == PageLocation::kCpuMem && l3_slice_.Access(addr)) {
+    TranslationResult r;
+    counters->gpu_tlb_misses += 1;
+    counters->l3_hits += 1;
+    r.iotlb_hit = true;
+    r.latency = spec_.cpu_mem_iotlb_latency;
+    return r;
+  }
+  return shared_iotlb_->EscalateMiss(addr, loc, counters);
+}
+
+void BlockTlb::Flush() {
+  l1_.Flush();
+  l2_slice_.Flush();
+  l3_slice_.Flush();
+}
+
+}  // namespace triton::sim

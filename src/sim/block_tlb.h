@@ -1,0 +1,51 @@
+// Per-thread-block view of the GPU translation hierarchy.
+//
+// Thread blocks execute sequentially in this simulation, but on the real
+// GPU all resident blocks run concurrently and *share* the L2 TLB while
+// each SM has a private L1 TLB. A sequential replay through one global TLB
+// would therefore overstate L2 locality. BlockTlb models the concurrent
+// view from a single block:
+//   - a private L1 TLB with the full per-SM capacity, and
+//   - L2 and L3 *slices* whose capacities are the shared levels divided by
+//     the number of concurrently resident blocks (each block can only keep
+//     its proportional share of entries alive under concurrent thrashing).
+// Misses on CPU-memory pages escalate to the CPU's IOMMU (IOTLB lookup or
+// full page table walk); walks serialize through the walker pool in the
+// cost model, so sequential replay is faithful there.
+
+#ifndef TRITON_SIM_BLOCK_TLB_H_
+#define TRITON_SIM_BLOCK_TLB_H_
+
+#include <cstdint>
+
+#include "sim/perf_counters.h"
+#include "sim/tlb.h"
+
+namespace triton::sim {
+
+/// Translation stack for one thread block; see file comment.
+class BlockTlb {
+ public:
+  /// `resident_blocks` is the number of blocks concurrently sharing the L2
+  /// TLB. `shared_iotlb` (owned by the Device) handles IOMMU-side caching.
+  BlockTlb(const TlbSpec& spec, uint32_t resident_blocks,
+           TlbSimulator* shared_iotlb);
+
+  /// Translates one access; updates counters and returns the outcome.
+  TranslationResult Access(uint64_t addr, PageLocation loc,
+                           PerfCounters* counters);
+
+  /// Invalidates the block-local levels (kernel relaunch).
+  void Flush();
+
+ private:
+  const TlbSpec& spec_;
+  TranslationCache l1_;
+  TranslationCache l2_slice_;
+  TranslationCache l3_slice_;
+  TlbSimulator* shared_iotlb_;
+};
+
+}  // namespace triton::sim
+
+#endif  // TRITON_SIM_BLOCK_TLB_H_

@@ -1,0 +1,104 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace triton::sim {
+
+double KernelTime::Elapsed() const {
+  return std::max({compute, gpu_mem, cpu_mem, link, tlb, latency});
+}
+
+const char* KernelTime::Bottleneck() const {
+  double e = Elapsed();
+  if (e == 0.0) return "idle";
+  if (e == link) return "link";
+  if (e == tlb) return "tlb";
+  if (e == gpu_mem) return "gpu_mem";
+  if (e == cpu_mem) return "cpu_mem";
+  if (e == latency) return "latency";
+  return "compute";
+}
+
+std::string KernelTime::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "KernelTime{compute=%.3es gpu_mem=%.3es cpu_mem=%.3es "
+                "link=%.3es tlb=%.3es latency=%.3es -> %s}",
+                compute, gpu_mem, cpu_mem, link, tlb, latency, Bottleneck());
+  return buf;
+}
+
+KernelTime CostModel::Evaluate(const PerfCounters& c, uint32_t sms,
+                               double avg_access_latency,
+                               uint64_t latency_bound_accesses,
+                               uint32_t occupancy_warps_per_sm) const {
+  KernelTime t;
+  CHECK_GT(sms, 0u);
+
+  // Compute: abstract warp-instructions over the SMs' issue rate.
+  t.compute = static_cast<double>(c.issue_slots) / hw_.GpuIssueRate(sms);
+
+  // GPU memory: sequential traffic at full bandwidth; random writes derated.
+  double gpu_seq_bytes = static_cast<double>(c.gpu_mem_read + c.gpu_mem_write -
+                                             c.gpu_mem_random_write);
+  double gpu_rand_write = static_cast<double>(c.gpu_mem_random_write);
+  t.gpu_mem = gpu_seq_bytes / hw_.gpu_mem.bandwidth +
+              gpu_rand_write /
+                  (hw_.gpu_mem.bandwidth * hw_.gpu_mem.random_write_derate);
+
+  // CPU memory bandwidth serves both CPU-side traffic and the link traffic
+  // that lands in / originates from CPU DRAM.
+  double cpu_bytes = static_cast<double>(c.cpu_mem_read + c.cpu_mem_write) +
+                     static_cast<double>(c.LinkPayloadTotal());
+  t.cpu_mem = cpu_bytes / hw_.cpu_mem.bandwidth;
+
+  // Interconnect: each direction has raw_bandwidth; when both directions are
+  // active the effective bandwidth is derated by the bidirectional
+  // efficiency factor.
+  double bw = hw_.link.raw_bandwidth_per_dir;
+  bool bidir = c.link_read_physical > 0 && c.link_write_physical > 0 &&
+               std::min(c.link_read_physical, c.link_write_physical) >
+                   c.LinkPhysicalTotal() / 16;
+  if (bidir) bw *= hw_.link.bidirectional_efficiency;
+  double t_read = static_cast<double>(c.link_read_physical) / bw;
+  double t_write = static_cast<double>(c.link_write_physical) / bw;
+  t.link = std::max(t_read, t_write);
+
+  // IOMMU walker pool: full page-table walks occupy one of the parallel
+  // walkers for the walk latency; cached IOMMU lookups are an order of
+  // magnitude cheaper (the L3 TLB* plateau).
+  double walker_time =
+      static_cast<double>(c.iommu_walks) * hw_.tlb.cpu_mem_walk_latency +
+      static_cast<double>(c.iommu_requests - c.iommu_walks) *
+          hw_.tlb.cpu_mem_iotlb_latency;
+  t.tlb = walker_time / static_cast<double>(hw_.tlb.num_walkers);
+  // The shared L3 TLB* structure serves a bounded number of concurrent
+  // lookups; translation-heavy random access is throttled by it even when
+  // no request reaches the IOMMU.
+  t.tlb += static_cast<double>(c.l3_hits) * hw_.tlb.cpu_mem_iotlb_latency /
+           static_cast<double>(hw_.tlb.l3_concurrency);
+
+  // Latency bound: with W resident warps per SM each able to keep one
+  // access in flight, throughput caps at (sms * W) / avg_latency accesses
+  // per second.
+  if (latency_bound_accesses > 0 && avg_access_latency > 0.0) {
+    double parallelism =
+        static_cast<double>(sms) * static_cast<double>(occupancy_warps_per_sm);
+    t.latency = static_cast<double>(latency_bound_accesses) *
+                avg_access_latency / parallelism;
+  }
+  return t;
+}
+
+double CostModel::LinkUtilization(const PerfCounters& c,
+                                  double elapsed) const {
+  if (elapsed <= 0.0) return 0.0;
+  double dominant = static_cast<double>(
+      std::max(c.link_read_physical, c.link_write_physical));
+  return dominant / (hw_.link.raw_bandwidth_per_dir * elapsed);
+}
+
+}  // namespace triton::sim

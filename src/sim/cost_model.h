@@ -1,0 +1,67 @@
+// Converts a kernel's PerfCounters record into simulated elapsed time.
+//
+// The model is a roofline over five resources: GPU compute issue slots, GPU
+// on-board memory bandwidth, CPU memory bandwidth, interconnect bandwidth
+// per direction (with a bidirectional-sharing derate), and the IOMMU's page
+// table walker pool. A kernel's elapsed time is the maximum over resource
+// times — the standard fully-overlapped bandwidth assumption used by
+// analytical GPU models. The per-resource times are also reported
+// individually so the harness can attribute stalls (Figures 15 and 18f)
+// and compute interconnect utilization (Figure 14a).
+
+#ifndef TRITON_SIM_COST_MODEL_H_
+#define TRITON_SIM_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/hw_spec.h"
+#include "sim/perf_counters.h"
+
+namespace triton::sim {
+
+/// Per-resource time attribution for one kernel execution.
+struct KernelTime {
+  double compute = 0.0;   ///< Issue-slot time on the allocated SMs.
+  double gpu_mem = 0.0;   ///< GPU on-board memory bandwidth time.
+  double cpu_mem = 0.0;   ///< CPU memory bandwidth time (CPU-side traffic).
+  double link = 0.0;      ///< Interconnect time (max over directions).
+  double tlb = 0.0;       ///< IOMMU walker-pool time.
+  double latency = 0.0;   ///< Latency-bound time (low-parallelism kernels).
+
+  /// The roofline: elapsed = max over resources.
+  double Elapsed() const;
+
+  /// Which resource bound this kernel ("compute", "link", ...).
+  const char* Bottleneck() const;
+
+  std::string ToString() const;
+};
+
+/// Stateless counters -> time converter for one machine.
+class CostModel {
+ public:
+  explicit CostModel(const HwSpec& hw) : hw_(hw) {}
+
+  /// Computes per-resource times for a kernel that ran on `sms` streaming
+  /// multiprocessors. `occupancy_warps` is the number of concurrently
+  /// resident warps the kernel sustains (bounds memory-level parallelism;
+  /// pointer-chase microbenchmarks use 1).
+  KernelTime Evaluate(const PerfCounters& counters, uint32_t sms,
+                      double avg_access_latency = 0.0,
+                      uint64_t latency_bound_accesses = 0,
+                      uint32_t occupancy_warps_per_sm = 64) const;
+
+  /// Link utilization achieved by a phase: physical bytes per direction
+  /// divided by the raw bandwidth-time product (Figure 14a).
+  double LinkUtilization(const PerfCounters& counters, double elapsed) const;
+
+  const HwSpec& hw() const { return hw_; }
+
+ private:
+  HwSpec hw_;
+};
+
+}  // namespace triton::sim
+
+#endif  // TRITON_SIM_COST_MODEL_H_

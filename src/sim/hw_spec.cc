@@ -1,0 +1,118 @@
+#include "sim/hw_spec.h"
+
+#include "util/logging.h"
+
+namespace triton::sim {
+
+using util::kGB;
+using util::kGiB;
+using util::kMiB;
+
+HwSpec HwSpec::Ac922NvLink() {
+  HwSpec hw;
+  hw.name = "IBM AC922 (POWER9 + V100, NVLink 2.0)";
+
+  hw.gpu.num_sms = 80;
+  hw.gpu.clock_hz = 1.53e9;
+  hw.gpu.cores_per_sm = 64;
+  hw.gpu.warp_size = 32;
+  hw.gpu.scratchpad_bytes = 64 * util::kKiB;
+  hw.gpu.load_watts = 71.0;
+  hw.gpu.idle_watts = 32.0;
+
+  hw.cpu.name = "POWER9";
+  hw.cpu.cores = 16;
+  hw.cpu.clock_hz = 3.8e9;
+  hw.cpu.smt = 4;
+  hw.cpu.llc_per_core = 5 * kMiB;
+  hw.cpu.partition_bw = 29.0 * kGiB;
+  hw.cpu.scan_bw = 129.6 * kGiB;
+  hw.cpu.join_tuples_per_core = 140e6;
+  hw.cpu.load_watts = 192.0;
+  hw.cpu.io_for_gpu_watts = 10.5;
+
+  hw.gpu_mem.bandwidth = 900.0 * kGB;
+  hw.gpu_mem.capacity = 16 * kGiB;
+  hw.gpu_mem.transaction_bytes = 32;
+  hw.gpu_mem.random_write_derate = 0.25;
+
+  hw.cpu_mem.bandwidth = 170.0 * kGB;
+  // Two sockets with 128 GiB each; the near-GPU NUMA node holds the hot
+  // state but the far node backs the remainder (the paper notes its largest
+  // workload approaches one node's capacity).
+  hw.cpu_mem.capacity = 256 * kGiB;
+  hw.cpu_mem.transaction_bytes = 128;
+  hw.cpu_mem.random_write_derate = 1.0;
+
+  hw.link.raw_bandwidth_per_dir = 75.0 * kGB;
+  hw.link.bidirectional_efficiency = 0.88;
+  hw.link.header_bytes = 16;
+  hw.link.max_sm_payload = 128;
+  hw.link.max_dma_payload = 256;
+  hw.link.min_read_payload = 32;
+  hw.link.byte_enable_bytes = 16;
+  hw.link.alignment = 128;
+
+  hw.tlb.l2_coverage = 8 * kGiB;
+  hw.tlb.l2_entry_range = 32 * kMiB;
+  hw.tlb.iotlb_coverage = 32 * kGiB;
+  hw.tlb.page_bytes = 2 * kMiB;
+  hw.tlb.gpu_mem_hit_latency = 151.9e-9;
+  hw.tlb.gpu_mem_miss_latency = 226.7e-9;
+  hw.tlb.cpu_mem_hit_latency = 449.7e-9;
+  hw.tlb.cpu_mem_iotlb_latency = 532.9e-9;
+  hw.tlb.cpu_mem_walk_latency = 3186.4e-9;
+  hw.tlb.num_walkers = 12;
+  hw.tlb.translations_per_walk = 16;
+
+  hw.system_idle_watts = 290.0;
+  hw.scale = 1.0;
+  return hw;
+}
+
+HwSpec HwSpec::Ac922Pcie3() {
+  HwSpec hw = Ac922NvLink();
+  hw.name = "POWER9 + V100, PCI-e 3.0 x16";
+  // PCI-e 3.0 x16: ~16 GB/s raw, ~12 GiB/s effective payload per direction.
+  hw.link.raw_bandwidth_per_dir = 16.0 * kGB;
+  hw.link.bidirectional_efficiency = 0.8;
+  // PCI-e TLPs: up to 256-byte payload with ~24 bytes of header/overhead.
+  hw.link.header_bytes = 24;
+  hw.link.max_sm_payload = 128;
+  hw.link.max_dma_payload = 256;
+  return hw;
+}
+
+CpuSpec HwSpec::XeonGold6126() {
+  CpuSpec cpu;
+  cpu.name = "Xeon Gold 6126";
+  cpu.cores = 12;
+  cpu.clock_hz = 2.6e9;
+  cpu.smt = 2;
+  cpu.llc_per_core = static_cast<uint64_t>(1.25 * kMiB);
+  cpu.partition_bw = 24.0 * kGiB;
+  cpu.scan_bw = 100.0 * kGiB;
+  cpu.join_tuples_per_core = 160e6;
+  cpu.load_watts = 165.0;
+  cpu.io_for_gpu_watts = 0.0;
+  return cpu;
+}
+
+HwSpec HwSpec::Scaled(double factor) const {
+  CHECK_GT(factor, 0.0);
+  HwSpec hw = *this;
+  auto scale_u64 = [factor](uint64_t v) {
+    uint64_t scaled = static_cast<uint64_t>(static_cast<double>(v) / factor);
+    return scaled == 0 ? uint64_t{1} : scaled;
+  };
+  hw.gpu_mem.capacity = scale_u64(gpu_mem.capacity);
+  hw.cpu_mem.capacity = scale_u64(cpu_mem.capacity);
+  hw.tlb.l2_coverage = scale_u64(tlb.l2_coverage);
+  hw.tlb.l2_entry_range = scale_u64(tlb.l2_entry_range);
+  hw.tlb.iotlb_coverage = scale_u64(tlb.iotlb_coverage);
+  hw.tlb.page_bytes = scale_u64(tlb.page_bytes);
+  hw.scale = scale * factor;
+  return hw;
+}
+
+}  // namespace triton::sim

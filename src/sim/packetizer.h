@@ -1,0 +1,67 @@
+// NVLink 2.0 packet accounting (Sections 2.1 and 3.4.1 of the paper).
+//
+// The interconnect moves data in transactions of up to 128 bytes (SM path)
+// or 256 bytes (DMA copy engines), aligned to 128-byte cachelines. Every
+// transaction carries a 16-byte header; small reads are padded to a 32-byte
+// payload and partial-cacheline writes carry a 16-byte "byte enable" header
+// extension. The packetizer converts a memory access (address, size,
+// direction) into transaction counts and physical wire volume, which is how
+// the reproduction obtains Figure 6 (granularity/alignment bandwidth),
+// Figure 18(b) (tuples per transaction) and Figure 18(c) (transfer volume
+// overhead) from the algorithms' real access streams.
+
+#ifndef TRITON_SIM_PACKETIZER_H_
+#define TRITON_SIM_PACKETIZER_H_
+
+#include <cstdint>
+
+#include "sim/hw_spec.h"
+
+namespace triton::sim {
+
+/// Result of packetizing one memory access or bulk transfer.
+struct TxnStats {
+  /// Number of link transactions.
+  uint64_t txns = 0;
+  /// Useful payload bytes (the access size).
+  uint64_t payload = 0;
+  /// Physical bytes on the wire: payload + padding + headers + extensions.
+  uint64_t physical = 0;
+};
+
+/// Stateless packet-rule calculator for one interconnect spec.
+class Packetizer {
+ public:
+  explicit Packetizer(const InterconnectSpec& spec) : spec_(spec) {}
+
+  /// Packetizes a single access issued by SM threads (possibly coalesced
+  /// from a warp): `addr` is the starting byte address, `size` the access
+  /// size in bytes. The access is split at cacheline boundaries; each piece
+  /// becomes one transaction.
+  TxnStats Access(uint64_t addr, uint64_t size, bool is_write) const;
+
+  /// Packetizes a large sequential transfer (e.g. a kernel streaming a
+  /// relation chunk) in O(1). Assumes cacheline-aligned bulk interior with
+  /// at most two ragged edges.
+  TxnStats Bulk(uint64_t addr, uint64_t size, bool is_write) const;
+
+  /// Packetizes a DMA copy-engine transfer (256-byte transactions).
+  TxnStats Dma(uint64_t size, bool is_write) const;
+
+  /// Payload efficiency (payload / physical) of a perfectly coalesced,
+  /// aligned SM transaction stream.
+  double PeakSmEfficiency() const {
+    return static_cast<double>(spec_.max_sm_payload) /
+           static_cast<double>(spec_.max_sm_payload + spec_.header_bytes);
+  }
+
+ private:
+  /// Accounts one transaction with `payload_bytes` of useful data.
+  void AddTxn(uint64_t payload_bytes, bool is_write, TxnStats* out) const;
+
+  InterconnectSpec spec_;
+};
+
+}  // namespace triton::sim
+
+#endif  // TRITON_SIM_PACKETIZER_H_

@@ -1,0 +1,64 @@
+#include "sim/perf_counters.h"
+
+#include <cstdio>
+
+#include "util/units.h"
+
+namespace triton::sim {
+
+void PerfCounters::Merge(const PerfCounters& other) {
+  gpu_mem_read += other.gpu_mem_read;
+  gpu_mem_write += other.gpu_mem_write;
+  gpu_mem_random_write += other.gpu_mem_random_write;
+  link_read_payload += other.link_read_payload;
+  link_read_physical += other.link_read_physical;
+  link_write_payload += other.link_write_payload;
+  link_write_physical += other.link_write_physical;
+  link_read_txns += other.link_read_txns;
+  link_write_txns += other.link_write_txns;
+  cpu_mem_read += other.cpu_mem_read;
+  cpu_mem_write += other.cpu_mem_write;
+  gpu_tlb_lookups += other.gpu_tlb_lookups;
+  gpu_tlb_misses += other.gpu_tlb_misses;
+  l3_hits += other.l3_hits;
+  iommu_requests += other.iommu_requests;
+  iommu_walks += other.iommu_walks;
+  issue_slots += other.issue_slots;
+  tuples += other.tuples;
+}
+
+std::string PerfCounters::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "PerfCounters{\n"
+      "  gpu_mem r/w:        %s / %s\n"
+      "  link read:          %s payload, %s physical, %llu txns\n"
+      "  link write:         %s payload, %s physical, %llu txns\n"
+      "  cpu_mem r/w:        %s / %s\n"
+      "  gpu tlb:            %llu lookups, %llu misses, %llu L3* hits\n"
+      "  iommu:              %llu requests, %llu walks\n"
+      "  issue slots:        %llu\n"
+      "  tuples:             %llu\n"
+      "}",
+      util::FormatBytes(gpu_mem_read).c_str(),
+      util::FormatBytes(gpu_mem_write).c_str(),
+      util::FormatBytes(link_read_payload).c_str(),
+      util::FormatBytes(link_read_physical).c_str(),
+      static_cast<unsigned long long>(link_read_txns),
+      util::FormatBytes(link_write_payload).c_str(),
+      util::FormatBytes(link_write_physical).c_str(),
+      static_cast<unsigned long long>(link_write_txns),
+      util::FormatBytes(cpu_mem_read).c_str(),
+      util::FormatBytes(cpu_mem_write).c_str(),
+      static_cast<unsigned long long>(gpu_tlb_lookups),
+      static_cast<unsigned long long>(gpu_tlb_misses),
+      static_cast<unsigned long long>(l3_hits),
+      static_cast<unsigned long long>(iommu_requests),
+      static_cast<unsigned long long>(iommu_walks),
+      static_cast<unsigned long long>(issue_slots),
+      static_cast<unsigned long long>(tuples));
+  return buf;
+}
+
+}  // namespace triton::sim

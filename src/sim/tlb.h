@@ -1,0 +1,123 @@
+// GPU address-translation simulation (Section 3.4.2 of the paper).
+//
+// The GPU's shared L2 TLB is modelled as a set-associative cache over
+// *translation ranges* (32 MiB each on the real machine: 16 physically
+// adjacent 2 MiB pages coalesced during one page-table walk). Accesses to
+// CPU-memory pages that miss the L2 TLB become IOMMU translation requests;
+// the IOMMU's own cache (the paper's speculative "L3 TLB*") is a second
+// set-associative level. Requests that miss both require a full page-table
+// walk by one of the IOMMU's 12 parallel walkers.
+//
+// Kernels replay their actual page-access streams through this simulator,
+// so miss rates — and through them the fanout cliffs of Figures 13/14/18 —
+// are emergent properties of the algorithms' address patterns.
+
+#ifndef TRITON_SIM_TLB_H_
+#define TRITON_SIM_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/hw_spec.h"
+#include "sim/perf_counters.h"
+
+namespace triton::sim {
+
+/// One set-associative translation cache level.
+///
+/// Capacity is expressed as covered bytes; each entry covers `range_bytes`.
+/// Lookups are by byte address; replacement is per-set LRU.
+class TranslationCache {
+ public:
+  /// Creates a cache covering `coverage_bytes` with entries spanning
+  /// `range_bytes` each. `ways` is the set associativity.
+  TranslationCache(uint64_t coverage_bytes, uint64_t range_bytes,
+                   uint32_t ways = 8);
+
+  /// Looks up the range containing `addr`; inserts it on miss.
+  /// Returns true on hit.
+  bool Access(uint64_t addr);
+
+  /// Invalidates all entries (the CUDA runtime flushes GPU TLBs at kernel
+  /// launch; mprotect flushes the IOTLB).
+  void Flush();
+
+  uint64_t num_entries() const { return num_sets_ * ways_; }
+  uint64_t range_bytes() const { return range_bytes_; }
+  uint64_t lookups() const { return lookups_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  uint64_t range_bytes_;
+  uint32_t ways_;
+  uint64_t num_sets_;  // power of two
+  // tags_[set * ways + way]: range id + 1 (0 = invalid).
+  std::vector<uint64_t> tags_;
+  // lru_[set * ways + way]: logical timestamp of last use.
+  std::vector<uint64_t> stamp_;
+  uint64_t clock_ = 0;
+  uint64_t lookups_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Which memory pool a translated page belongs to.
+enum class PageLocation { kGpuMem, kCpuMem };
+
+/// Outcome of one translated access, with the latency the paper measures
+/// for that outcome (Figure 7).
+struct TranslationResult {
+  /// True if the GPU L2 TLB hit.
+  bool l2_hit = false;
+  /// For CPU-memory L2 misses: true if the "L3 TLB*" layer hit (no IOMMU
+  /// request generated).
+  bool iotlb_hit = false;
+  /// Access latency in seconds for this outcome.
+  double latency = 0.0;
+};
+
+/// Two-level translation hierarchy: GPU L2 TLB + IOMMU-side cache.
+class TlbSimulator {
+ public:
+  explicit TlbSimulator(const TlbSpec& spec);
+
+  /// Translates an access to `addr` in the given memory pool, updating
+  /// `counters` (lookups, misses, IOMMU requests/walks). Returns the
+  /// outcome with its latency.
+  TranslationResult Access(uint64_t addr, PageLocation loc,
+                           PerfCounters* counters);
+
+  /// Handles an access that already missed the GPU-side TLB levels (used
+  /// by BlockTlb, which models those levels itself). For CPU-memory pages
+  /// this performs the IOMMU request / IOTLB lookup / walk accounting; for
+  /// GPU-memory pages it charges the on-board miss latency.
+  TranslationResult EscalateMiss(uint64_t addr, PageLocation loc,
+                                 PerfCounters* counters);
+
+  /// A translation request arriving at the CPU's IOMMU: counted as an
+  /// IOMMU request; an IOTLB hit costs the L3 TLB* latency, a miss is a
+  /// full page table walk.
+  TranslationResult IommuAccess(uint64_t addr, PerfCounters* counters);
+
+  /// Flushes the GPU L2 TLB only (happens at each kernel launch).
+  void FlushGpuTlb();
+
+  /// Flushes both levels.
+  void FlushAll();
+
+  const TlbSpec& spec() const { return spec_; }
+
+ private:
+  TlbSpec spec_;
+  TranslationCache l2_;
+  // The 32 GiB "L3 TLB*" layer of Figure 7b. The paper's IOMMU counters
+  // show that accesses within this reach do not generate IOMMU requests,
+  // so it is modelled GPU-side; it survives kernel launches.
+  TranslationCache l3_;
+  // IOMMU-side IOTLB: requests that hit here are counted but avoid the
+  // full page table walk.
+  TranslationCache iommu_iotlb_;
+};
+
+}  // namespace triton::sim
+
+#endif  // TRITON_SIM_TLB_H_

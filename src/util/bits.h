@@ -1,0 +1,49 @@
+// Bit-twiddling helpers shared by the radix-partitioning and hashing layers.
+
+#ifndef TRITON_UTIL_BITS_H_
+#define TRITON_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace triton::util {
+
+/// True if x is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x = 0 maps to 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  return x <= 1 ? 1 : std::bit_ceil(x);
+}
+
+/// floor(log2(x)); x must be nonzero.
+constexpr uint32_t FloorLog2(uint64_t x) {
+  return 63 - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)); x must be nonzero.
+constexpr uint32_t CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : FloorLog2(x - 1) + 1;
+}
+
+/// Rounds x up to the next multiple of `align` (a power of two).
+constexpr uint64_t AlignUp(uint64_t x, uint64_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+/// Rounds x down to a multiple of `align` (a power of two).
+constexpr uint64_t AlignDown(uint64_t x, uint64_t align) {
+  return x & ~(align - 1);
+}
+
+/// Extracts `bits` bits of x starting at bit `shift` (LSB order).
+constexpr uint64_t ExtractBits(uint64_t x, uint32_t shift, uint32_t bits) {
+  return (x >> shift) & ((uint64_t{1} << bits) - 1);
+}
+
+/// Ceil division for unsigned integers.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace triton::util
+
+#endif  // TRITON_UTIL_BITS_H_

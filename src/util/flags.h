@@ -1,0 +1,48 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Usage:
+//   util::Flags flags(argc, argv);
+//   int scale = flags.GetInt("scale", 64);
+//   bool csv = flags.GetBool("csv", false);
+//
+// Accepted syntaxes: --name=value, --name value, --flag (boolean true).
+
+#ifndef TRITON_UTIL_FLAGS_H_
+#define TRITON_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace triton::util {
+
+/// Parses argv into a name->value map; unknown positional args are kept in
+/// positional().
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// True if the flag was present on the command line.
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Comma-separated integer list, e.g. --sizes=128,512,2048.
+  std::vector<int64_t> GetIntList(const std::string& name,
+                                  std::vector<int64_t> default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace triton::util
+
+#endif  // TRITON_UTIL_FLAGS_H_

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "exec/device.h"
+#include "sim/hw_spec.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace triton::exec {
+namespace {
+
+using sim::HwSpec;
+using util::kMiB;
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  HwSpec hw_ = HwSpec::Ac922NvLink().Scaled(64);
+  Device dev_{hw_};
+};
+
+TEST_F(DeviceTest, SequentialCpuReadCountsLinkTraffic) {
+  auto buf = dev_.allocator().AllocateCpu(4 * kMiB);
+  ASSERT_TRUE(buf.ok());
+  auto rec = dev_.Launch({.name = "scan"}, [&](KernelContext& ctx) {
+    ctx.ReadSeq(*buf, 0, 4 * kMiB);
+  });
+  EXPECT_EQ(rec.counters.link_read_payload, 4 * kMiB);
+  // Perfectly coalesced: physical = payload * 144/128.
+  EXPECT_EQ(rec.counters.link_read_physical, 4 * kMiB * 144 / 128);
+  EXPECT_EQ(rec.counters.gpu_mem_read, 0u);
+  dev_.allocator().Free(*buf);
+}
+
+TEST_F(DeviceTest, SequentialGpuReadStaysOnBoard) {
+  auto buf = dev_.allocator().AllocateGpu(4 * kMiB);
+  ASSERT_TRUE(buf.ok());
+  auto rec = dev_.Launch({.name = "scan"}, [&](KernelContext& ctx) {
+    ctx.ReadSeq(*buf, 0, 4 * kMiB);
+  });
+  EXPECT_EQ(rec.counters.gpu_mem_read, 4 * kMiB);
+  EXPECT_EQ(rec.counters.link_read_payload, 0u);
+  EXPECT_EQ(rec.counters.iommu_requests, 0u);
+  dev_.allocator().Free(*buf);
+}
+
+TEST_F(DeviceTest, InterleavedBufferSplitsTraffic) {
+  auto buf = dev_.allocator().AllocateInterleaved(12 * kMiB, 4 * kMiB);
+  ASSERT_TRUE(buf.ok());
+  auto rec = dev_.Launch({.name = "scan"}, [&](KernelContext& ctx) {
+    ctx.ReadSeq(*buf, 0, buf->size());
+  });
+  // ~1/3 of reads on-board, ~2/3 over the link.
+  double gpu_frac = static_cast<double>(rec.counters.gpu_mem_read) /
+                    static_cast<double>(buf->size());
+  EXPECT_NEAR(gpu_frac, 1.0 / 3.0, 0.05);
+  EXPECT_EQ(rec.counters.gpu_mem_read + rec.counters.link_read_payload,
+            buf->size());
+  dev_.allocator().Free(*buf);
+}
+
+TEST_F(DeviceTest, RandomCpuAccessesReplayTlb) {
+  // Allocate more than the scaled L3 TLB* reach and touch pages randomly:
+  // lookups must miss all GPU-side levels and escalate to the IOMMU.
+  uint64_t size = hw_.tlb.iotlb_coverage * 3;
+  auto buf = dev_.allocator().AllocateCpu(size);
+  ASSERT_TRUE(buf.ok());
+  util::Lcg64 lcg(3);
+  auto rec = dev_.Launch({.name = "gather"}, [&](KernelContext& ctx) {
+    for (int i = 0; i < 20000; ++i) {
+      uint64_t off = lcg.NextBounded(size / 16) * 16;
+      ctx.ReadRand(*buf, off, 16);
+    }
+  });
+  EXPECT_EQ(rec.counters.gpu_tlb_lookups, 20000u);
+  // Working set is 3x the L3* reach: the majority of lookups walk.
+  EXPECT_GT(rec.counters.iommu_requests, 10000u);
+  dev_.allocator().Free(*buf);
+}
+
+TEST_F(DeviceTest, RandomAccessWithinCoverageMostlyHits) {
+  uint64_t size = hw_.tlb.l2_coverage / 4;
+  auto buf = dev_.allocator().AllocateCpu(size);
+  ASSERT_TRUE(buf.ok());
+  util::Lcg64 lcg(3);
+  auto rec = dev_.Launch({.name = "gather"}, [&](KernelContext& ctx) {
+    for (int i = 0; i < 50000; ++i) {
+      uint64_t off = lcg.NextBounded(size / 16) * 16;
+      ctx.ReadRand(*buf, off, 16);
+    }
+  });
+  // Compulsory misses only: at most one per translation range.
+  uint64_t ranges = size / hw_.tlb.l2_entry_range + 2;
+  EXPECT_LE(rec.counters.iommu_requests, ranges);
+  dev_.allocator().Free(*buf);
+}
+
+TEST_F(DeviceTest, TlbFlushedBetweenLaunches) {
+  auto buf = dev_.allocator().AllocateCpu(1 * kMiB);
+  ASSERT_TRUE(buf.ok());
+  auto first = dev_.Launch({.name = "a"}, [&](KernelContext& ctx) {
+    ctx.ReadRand(*buf, 0, 16);
+  });
+  EXPECT_EQ(first.counters.iommu_requests, 1u);
+  // Second launch: the GPU L2 TLB is flushed but the L3* layer still holds
+  // the range — the lookup misses L2 yet generates no IOMMU request.
+  auto second = dev_.Launch({.name = "b"}, [&](KernelContext& ctx) {
+    ctx.ReadRand(*buf, 0, 16);
+  });
+  EXPECT_EQ(second.counters.gpu_tlb_misses, 1u);
+  EXPECT_EQ(second.counters.iommu_requests, 0u);
+  EXPECT_EQ(second.counters.iommu_walks, 0u);
+  dev_.allocator().Free(*buf);
+}
+
+TEST_F(DeviceTest, ChargeAndTuplesAccumulate) {
+  auto rec = dev_.Launch({.name = "compute"}, [&](KernelContext& ctx) {
+    ctx.Charge(1000);
+    ctx.AddTuples(32);
+  });
+  EXPECT_EQ(rec.counters.issue_slots, 1000u);
+  EXPECT_EQ(rec.counters.tuples, 32u);
+  EXPECT_GT(rec.time.compute, 0.0);
+}
+
+TEST_F(DeviceTest, SmsDefaultsToAll) {
+  auto rec = dev_.Launch({.name = "k"}, [](KernelContext&) {});
+  EXPECT_EQ(rec.sms, hw_.gpu.num_sms);
+}
+
+TEST_F(DeviceTest, HalfSmsDoublesComputeTime) {
+  auto full = dev_.Launch({.name = "k", .sms = 80},
+                          [](KernelContext& ctx) { ctx.Charge(1 << 20); });
+  auto half = dev_.Launch({.name = "k", .sms = 40},
+                          [](KernelContext& ctx) { ctx.Charge(1 << 20); });
+  EXPECT_NEAR(half.time.compute / full.time.compute, 2.0, 1e-9);
+}
+
+TEST_F(DeviceTest, TraceAccumulates) {
+  dev_.ClearTrace();
+  dev_.Launch({.name = "a"}, [](KernelContext& ctx) { ctx.Charge(100); });
+  dev_.Launch({.name = "b"}, [](KernelContext& ctx) { ctx.Charge(100); });
+  ASSERT_EQ(dev_.trace().size(), 2u);
+  EXPECT_EQ(dev_.trace()[0].name, "a");
+  EXPECT_EQ(dev_.trace()[1].name, "b");
+  EXPECT_GT(dev_.TraceElapsed(), 0.0);
+}
+
+TEST_F(DeviceTest, LatencyBoundKernelReportsLatencyTime) {
+  auto buf = dev_.allocator().AllocateCpu(1 * kMiB);
+  ASSERT_TRUE(buf.ok());
+  auto rec = dev_.Launch(
+      {.name = "chase", .sms = 1, .occupancy_warps_per_sm = 1,
+       .latency_bound = true},
+      [&](KernelContext& ctx) {
+        for (int i = 0; i < 1000; ++i) ctx.ReadRand(*buf, (i * 64) % kMiB, 8);
+      });
+  EXPECT_GT(rec.time.latency, 0.0);
+  EXPECT_STREQ(rec.time.Bottleneck(), "latency");
+  dev_.allocator().Free(*buf);
+}
+
+}  // namespace
+}  // namespace triton::exec

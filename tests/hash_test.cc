@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "hash/bucket_chain_table.h"
+#include "hash/hash_fn.h"
+#include "hash/linear_table.h"
+#include "hash/perfect_table.h"
+#include "util/random.h"
+
+namespace triton::hash {
+namespace {
+
+TEST(HashFnTest, MultiplyShiftMixesHighBits) {
+  // Successive keys must not map to successive top bits.
+  std::vector<int> buckets(64, 0);
+  for (uint64_t k = 1; k <= 64000; ++k) {
+    ++buckets[HashBits(MultiplyShift(k), 0, 6)];
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(buckets[b], 1000, 300) << "bucket " << b;
+  }
+}
+
+TEST(HashFnTest, DisjointBitRangesAreIndependent) {
+  // Fix a first-pass partition and check second-pass bits still spread.
+  std::vector<int> buckets(16, 0);
+  int kept = 0;
+  for (uint64_t k = 1; k <= 400000; ++k) {
+    uint64_t h = MultiplyShift(k);
+    if (HashBits(h, 0, 4) != 3) continue;  // one first-pass partition
+    ++kept;
+    ++buckets[HashBits(h, 4, 4)];
+  }
+  ASSERT_GT(kept, 10000);
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_NEAR(buckets[b], kept / 16.0, kept / 16.0 * 0.25) << b;
+  }
+}
+
+TEST(HashFnTest, RadixPartitionInRange) {
+  for (uint64_t k = 1; k < 1000; ++k) {
+    EXPECT_LT(RadixPartition(k, 0, 9), 512u);
+    EXPECT_LT(RadixPartition(k, 9, 6), 64u);
+  }
+}
+
+TEST(HashFnTest, ZeroBitsIsZero) {
+  EXPECT_EQ(HashBits(MultiplyShift(77), 0, 0), 0u);
+}
+
+TEST(PerfectTableTest, InsertProbeRoundTrip) {
+  std::vector<Entry> storage(1000);
+  PerfectTable t(storage.data(), 1000);
+  for (int64_t k = 1; k <= 1000; ++k) t.Insert(k, k * 10);
+  for (int64_t k = 1; k <= 1000; ++k) {
+    int64_t v = 0;
+    ASSERT_TRUE(t.Probe(k, &v));
+    EXPECT_EQ(v, k * 10);
+  }
+}
+
+TEST(PerfectTableTest, OutOfDomainProbeMisses) {
+  std::vector<Entry> storage(10);
+  PerfectTable t(storage.data(), 10);
+  t.Insert(5, 50);
+  int64_t v = 0;
+  EXPECT_FALSE(t.Probe(11, &v));
+  EXPECT_FALSE(t.Probe(0, &v));
+  EXPECT_FALSE(t.Probe(4, &v));  // empty slot
+}
+
+TEST(PerfectTableTest, StorageBytesIs16PerKey) {
+  EXPECT_EQ(PerfectTable::StorageBytes(2048), 2048u * 16u);
+}
+
+TEST(LinearTableTest, CapacityIsPowerOfTwoAtHalfLoad) {
+  EXPECT_EQ(LinearTable::CapacityFor(1000), 2048u);
+  EXPECT_EQ(LinearTable::CapacityFor(1024), 2048u);
+  EXPECT_EQ(LinearTable::CapacityFor(1025), 4096u);
+}
+
+TEST(LinearTableTest, InsertProbeRoundTrip) {
+  uint64_t cap = LinearTable::CapacityFor(5000);
+  std::vector<Entry> storage(cap);
+  LinearTable t(storage.data(), cap);
+  util::Rng rng(5);
+  std::map<int64_t, int64_t> ref;
+  while (ref.size() < 5000) {
+    int64_t k = static_cast<int64_t>(rng.NextBounded(1 << 30)) + 1;
+    if (ref.count(k)) continue;
+    ref[k] = k * 3;
+    t.Insert(k, k * 3);
+  }
+  for (const auto& [k, v] : ref) {
+    int64_t got = 0;
+    bool found = false;
+    t.Probe(k, &got, &found);
+    ASSERT_TRUE(found) << k;
+    EXPECT_EQ(got, v);
+  }
+  // Missing keys report not-found.
+  int64_t got = 0;
+  bool found = true;
+  t.Probe(-7, &got, &found);
+  EXPECT_FALSE(found);
+}
+
+TEST(LinearTableTest, ProbeTouchesAtLeastOneSlot) {
+  uint64_t cap = LinearTable::CapacityFor(100);
+  std::vector<Entry> storage(cap);
+  LinearTable t(storage.data(), cap);
+  for (int64_t k = 1; k <= 100; ++k) t.Insert(k, k);
+  uint64_t total_touches = 0;
+  for (int64_t k = 1; k <= 100; ++k) {
+    int64_t v;
+    bool found;
+    total_touches += t.Probe(k, &v, &found);
+    EXPECT_TRUE(found);
+  }
+  EXPECT_GE(total_touches, 100u);
+  // At 50% load, average probe chains stay short.
+  EXPECT_LT(total_touches, 300u);
+}
+
+TEST(BucketChainTableTest, InsertProbeRoundTrip) {
+  constexpr uint32_t kBuckets = 2048;
+  constexpr uint32_t kMax = 4096;
+  std::vector<uint32_t> heads(kBuckets, 0);
+  std::vector<int64_t> keys(kMax), values(kMax);
+  std::vector<uint32_t> next(kMax);
+  BucketChainTable t(heads.data(), kBuckets, keys.data(), values.data(),
+                     next.data(), kMax);
+  for (int64_t k = 1; k <= 4000; ++k) t.Insert(k, k + 7, /*radix_shift=*/0);
+  EXPECT_EQ(t.size(), 4000u);
+  for (int64_t k = 1; k <= 4000; ++k) {
+    int64_t matched = -1;
+    t.Probe(k, 0, [&](int64_t v) { matched = v; });
+    EXPECT_EQ(matched, k + 7);
+  }
+  int64_t matched = -1;
+  t.Probe(99999, 0, [&](int64_t v) { matched = v; });
+  EXPECT_EQ(matched, -1);
+}
+
+TEST(BucketChainTableTest, DuplicateKeysAllMatch) {
+  constexpr uint32_t kBuckets = 64;
+  std::vector<uint32_t> heads(kBuckets, 0);
+  std::vector<int64_t> keys(16), values(16);
+  std::vector<uint32_t> next(16);
+  BucketChainTable t(heads.data(), kBuckets, keys.data(), values.data(),
+                     next.data(), 16);
+  t.Insert(42, 1, 0);
+  t.Insert(42, 2, 0);
+  t.Insert(42, 3, 0);
+  std::vector<int64_t> matches;
+  t.Probe(42, 0, [&](int64_t v) { matches.push_back(v); });
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(BucketChainTableTest, ClearResets) {
+  constexpr uint32_t kBuckets = 64;
+  std::vector<uint32_t> heads(kBuckets, 0);
+  std::vector<int64_t> keys(16), values(16);
+  std::vector<uint32_t> next(16);
+  BucketChainTable t(heads.data(), kBuckets, keys.data(), values.data(),
+                     next.data(), 16);
+  t.Insert(1, 10, 0);
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  int64_t matched = -1;
+  t.Probe(1, 0, [&](int64_t v) { matched = v; });
+  EXPECT_EQ(matched, -1);
+}
+
+TEST(BucketChainTableTest, StorageFitsScratchpadWithPartition) {
+  // The paper's configuration: 2048-bucket table for a scratchpad-resident
+  // partition. With ~2048 tuples per partition the table plus tuple arrays
+  // must fit in 64 KiB.
+  uint64_t bytes = BucketChainTable::StorageBytes(2048, 2048);
+  EXPECT_LE(bytes, 64u * 1024u);
+}
+
+TEST(BucketChainTableTest, ChainWalkCountsCollisions) {
+  constexpr uint32_t kBuckets = 2;  // force collisions
+  std::vector<uint32_t> heads(kBuckets, 0);
+  std::vector<int64_t> keys(8), values(8);
+  std::vector<uint32_t> next(8);
+  BucketChainTable t(heads.data(), kBuckets, keys.data(), values.data(),
+                     next.data(), 8);
+  for (int64_t k = 1; k <= 8; ++k) t.Insert(k, k, 0);
+  uint32_t walked = t.Probe(1, 0, [](int64_t) {});
+  EXPECT_GE(walked, 1u);
+  EXPECT_LE(walked, 8u);
+}
+
+}  // namespace
+}  // namespace triton::hash

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "mem/allocator.h"
+#include "mem/buffer.h"
+#include "sim/hw_spec.h"
+#include "util/units.h"
+
+namespace triton::mem {
+namespace {
+
+using sim::HwSpec;
+using sim::PageLocation;
+using util::kKiB;
+using util::kMiB;
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  // Scale 64: GPU capacity 256 MiB, page 32 KiB.
+  HwSpec hw_ = HwSpec::Ac922NvLink().Scaled(64);
+  Allocator alloc_{hw_};
+};
+
+TEST_F(AllocatorTest, GpuAllocationTracksUsage) {
+  auto buf = alloc_.AllocateGpu(1 * kMiB);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(alloc_.gpu_used(), 1 * kMiB);
+  EXPECT_TRUE(buf->valid());
+  EXPECT_EQ(buf->size(), 1 * kMiB);
+  EXPECT_EQ(buf->GpuBytes(), 1 * kMiB);
+  alloc_.Free(*buf);
+  EXPECT_EQ(alloc_.gpu_used(), 0u);
+}
+
+TEST_F(AllocatorTest, GpuCapacityEnforced) {
+  auto big = alloc_.AllocateGpu(alloc_.gpu_capacity() + 1);
+  EXPECT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), util::StatusCode::kOutOfMemory);
+
+  auto exact = alloc_.AllocateGpu(alloc_.gpu_capacity());
+  ASSERT_TRUE(exact.ok());
+  auto one_more = alloc_.AllocateGpu(1);
+  EXPECT_FALSE(one_more.ok());
+  alloc_.Free(*exact);
+}
+
+TEST_F(AllocatorTest, CpuAllocationDoesNotTouchGpuBudget) {
+  auto buf = alloc_.AllocateCpu(8 * kMiB);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(alloc_.gpu_used(), 0u);
+  EXPECT_GE(alloc_.cpu_used(), 8 * kMiB);
+  EXPECT_EQ(buf->GpuBytes(), 0u);
+  alloc_.Free(*buf);
+}
+
+TEST_F(AllocatorTest, ZeroByteAllocationRejected) {
+  EXPECT_FALSE(alloc_.AllocateGpu(0).ok());
+}
+
+TEST_F(AllocatorTest, BufferIsPageAligned) {
+  auto buf = alloc_.AllocateCpu(100);
+  ASSERT_TRUE(buf.ok());
+  uint64_t align = std::min<uint64_t>(hw_.tlb.page_bytes, 1 * kMiB);
+  EXPECT_EQ(buf->base_addr() % align, 0u);
+  alloc_.Free(*buf);
+}
+
+TEST_F(AllocatorTest, MoveTransfersOwnership) {
+  auto buf = alloc_.AllocateGpu(1 * kMiB);
+  ASSERT_TRUE(buf.ok());
+  Buffer moved = std::move(*buf);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(buf->valid());
+  EXPECT_EQ(alloc_.gpu_used(), 1 * kMiB);
+  alloc_.Free(moved);
+  EXPECT_EQ(alloc_.gpu_used(), 0u);
+}
+
+TEST_F(AllocatorTest, DestructionFreesAutomatically) {
+  {
+    auto buf = alloc_.AllocateGpu(2 * kMiB);
+    ASSERT_TRUE(buf.ok());
+    EXPECT_EQ(alloc_.gpu_used(), 2 * kMiB);
+  }
+  EXPECT_EQ(alloc_.gpu_used(), 0u);
+}
+
+TEST_F(AllocatorTest, UniformBuffersReportUniformLocation) {
+  auto gpu = alloc_.AllocateGpu(4 * kMiB);
+  auto cpu = alloc_.AllocateCpu(4 * kMiB);
+  ASSERT_TRUE(gpu.ok());
+  ASSERT_TRUE(cpu.ok());
+  for (uint64_t off = 0; off < 4 * kMiB; off += 512 * kKiB) {
+    EXPECT_EQ(gpu->LocationOf(off), PageLocation::kGpuMem);
+    EXPECT_EQ(cpu->LocationOf(off), PageLocation::kCpuMem);
+  }
+  alloc_.Free(*gpu);
+  alloc_.Free(*cpu);
+}
+
+TEST_F(AllocatorTest, InterleavedSplitsByRequestedFraction) {
+  // One third GPU: pattern should be ~1 GPU page per 2 CPU pages.
+  uint64_t total = 12 * kMiB;
+  auto buf = alloc_.AllocateInterleaved(total, total / 3);
+  ASSERT_TRUE(buf.ok());
+  double frac = static_cast<double>(buf->GpuBytes()) / buf->size();
+  EXPECT_NEAR(frac, 1.0 / 3.0, 0.05);
+  EXPECT_EQ(alloc_.gpu_used(), buf->GpuBytes());
+
+  // Pages of both kinds are spread through the array, not clustered: check
+  // that both locations appear in every quarter of the buffer.
+  uint64_t quarter = buf->size() / 4;
+  for (int q = 0; q < 4; ++q) {
+    bool saw_gpu = false, saw_cpu = false;
+    for (uint64_t off = q * quarter; off < (q + 1) * quarter;
+         off += buf->page_bytes()) {
+      if (buf->LocationOf(off) == PageLocation::kGpuMem) saw_gpu = true;
+      else saw_cpu = true;
+    }
+    EXPECT_TRUE(saw_gpu) << "quarter " << q;
+    EXPECT_TRUE(saw_cpu) << "quarter " << q;
+  }
+  alloc_.Free(*buf);
+}
+
+TEST_F(AllocatorTest, InterleavedDegeneratesToUniform) {
+  auto all_cpu = alloc_.AllocateInterleaved(4 * kMiB, 0);
+  ASSERT_TRUE(all_cpu.ok());
+  EXPECT_EQ(all_cpu->GpuBytes(), 0u);
+  auto all_gpu = alloc_.AllocateInterleaved(4 * kMiB, 4 * kMiB);
+  ASSERT_TRUE(all_gpu.ok());
+  EXPECT_EQ(all_gpu->GpuBytes(), 4 * kMiB);
+  alloc_.Free(*all_cpu);
+  alloc_.Free(*all_gpu);
+}
+
+TEST_F(AllocatorTest, InterleavedGpuPortionCountsAgainstCapacity) {
+  uint64_t cap = alloc_.gpu_capacity();
+  // Asking for more GPU bytes than capacity within an interleaved buffer
+  // must fail.
+  auto too_big = alloc_.AllocateInterleaved(4 * cap, 2 * cap);
+  EXPECT_FALSE(too_big.ok());
+}
+
+TEST(PlacementTest, LocationPattern) {
+  Placement p{1, 2};  // 1 GPU page then 2 CPU pages per group
+  EXPECT_EQ(p.LocationOfPage(0), PageLocation::kGpuMem);
+  EXPECT_EQ(p.LocationOfPage(1), PageLocation::kCpuMem);
+  EXPECT_EQ(p.LocationOfPage(2), PageLocation::kCpuMem);
+  EXPECT_EQ(p.LocationOfPage(3), PageLocation::kGpuMem);
+  EXPECT_NEAR(p.GpuFraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PlacementTest, DataIsWritableAcrossWholeBuffer) {
+  sim::HwSpec hw = HwSpec::Ac922NvLink().Scaled(64);
+  Allocator alloc(hw);
+  auto buf = alloc.AllocateInterleaved(8 * kMiB, 2 * kMiB);
+  ASSERT_TRUE(buf.ok());
+  // Functional memory is contiguous host memory regardless of placement.
+  uint64_t* p = buf->as<uint64_t>();
+  uint64_t n = buf->size() / sizeof(uint64_t);
+  for (uint64_t i = 0; i < n; i += 997) p[i] = i;
+  for (uint64_t i = 0; i < n; i += 997) EXPECT_EQ(p[i], i);
+  alloc.Free(*buf);
+}
+
+}  // namespace
+}  // namespace triton::mem
