@@ -187,9 +187,8 @@ util::StatusOr<join::JoinRun> TritonJoin::Run(exec::Device& dev,
             ctx.Charge(static_cast<uint64_t>(
                 rows.size() * partition::kPrefixSumCyclesPerTuple));
             if (stage_pairs) {
-              partition::Tuple* stage = staging.as<partition::Tuple>();
               for (uint64_t i = 0; i < rows.size(); ++i) {
-                stage[stage_offset + i] = rows.Get(i);
+                ctx.Store(staging, stage_offset + i, rows.Get(i));
               }
               ctx.WriteSeq(staging, stage_offset * sizeof(partition::Tuple),
                            rows.size() * sizeof(partition::Tuple));

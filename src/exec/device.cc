@@ -7,7 +7,7 @@
 namespace triton::exec {
 
 KernelContext::KernelContext(Device* device, const KernelConfig& config)
-    : device_(device), config_(config) {}
+    : device_(device), config_(config), san_(device->san_.get()) {}
 
 uint64_t KernelContext::scratchpad_bytes() const {
   return device_->hw_.gpu.scratchpad_bytes;
@@ -23,6 +23,7 @@ void KernelContext::Account(uint64_t addr, uint64_t size,
                             sim::PageLocation loc, bool is_write,
                             bool is_random, bool replay_tlb) {
   if (size == 0) return;
+  if (san_ != nullptr) san_->RecordAccounted(addr, size, is_write);
   if (loc == sim::PageLocation::kGpuMem) {
     if (is_write) {
       counters_.gpu_mem_write += size;
@@ -122,12 +123,56 @@ void KernelContext::WriteRand(const mem::Buffer& buf, uint64_t offset,
           /*is_write=*/true, /*is_random=*/true);
 }
 
+void KernelContext::Flush(const mem::Buffer& buf, uint64_t offset,
+                          uint64_t size) {
+  if (size == 0) return;
+  DCHECK_LE(offset + size, buf.size());
+  const uint64_t addr = buf.base_addr() + offset;
+  const sim::PageLocation loc = buf.LocationOf(offset);
+  // Packetize the flush as one contiguous random write (the packetizer
+  // splits it at cacheline boundaries, so a partial tail smaller than the
+  // transaction size is charged its true payload plus the byte-enable
+  // extension)...
+  Account(addr, size, loc, /*is_write=*/true, /*is_random=*/true,
+          /*replay_tlb=*/false);
+  // ...but replay the TLB once per translation range touched: a flush that
+  // straddles a range boundary needs both translations, which the plain
+  // WriteRand path (one replay at the start address) under-counts.
+  const uint64_t range = device_->hw_.tlb.l2_entry_range;
+  for (uint64_t r = addr / range; r <= (addr + size - 1) / range; ++r) {
+    auto tr = device_->tlb_.Access(r * range, loc, &counters_);
+    random_latency_sum_ += tr.latency;
+    ++random_accesses_;
+  }
+}
+
 Device::Device(const sim::HwSpec& hw)
+    : Device(hw, sanitizer::DefaultEnabled()) {}
+
+Device::Device(const sim::HwSpec& hw, bool sanitize)
     : hw_(hw),
       cost_model_(hw),
       packetizer_(hw.link),
       tlb_(hw.tlb),
-      allocator_(hw) {}
+      allocator_(hw) {
+  if (sanitize) {
+    san_ = std::make_unique<sanitizer::DeviceSanitizer>();
+    allocator_.set_observer(san_.get());
+  }
+}
+
+Device::~Device() {
+  if (san_ == nullptr) return;
+  // Unconsumed violations are programming errors: tests that expect them
+  // must collect them with TakeViolations().
+  for (const auto& v : san_->violations()) {
+    LOG(ERROR) << "DeviceSanitizer: " << v.message;
+  }
+  CHECK(san_->violations().empty())
+      << san_->violations().size() << " unconsumed sanitizer violation(s), "
+      << "first: " << san_->violations().front().message;
+  allocator_.set_observer(nullptr);
+}
 
 KernelRecord Device::Launch(const KernelConfig& config,
                             const std::function<void(KernelContext&)>& body) {
@@ -138,8 +183,10 @@ KernelRecord Device::Launch(const KernelConfig& config,
   // The CUDA runtime flushes GPU TLBs before each kernel launch.
   tlb_.FlushGpuTlb();
 
+  if (san_ != nullptr) san_->BeginLaunch(cfg.name);
   KernelContext ctx(this, cfg);
   body(ctx);
+  if (san_ != nullptr) san_->EndLaunch(ctx.counters_);
 
   KernelRecord record;
   record.name = cfg.name;

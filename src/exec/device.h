@@ -14,11 +14,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mem/allocator.h"
 #include "mem/buffer.h"
+#include "sanitizer/sanitizer.h"
 #include "sim/cost_model.h"
 #include "sim/hw_spec.h"
 #include "sim/packetizer.h"
@@ -82,9 +84,11 @@ class KernelContext {
   /// Accounts a buffer flush: `size` bytes written contiguously at
   /// `offset`. Flushes of a multiple of the transaction size with matching
   /// alignment achieve perfect coalescing; others split (Figure 18b).
-  void Flush(const mem::Buffer& buf, uint64_t offset, uint64_t size) {
-    WriteRand(buf, offset, size);
-  }
+  /// Unlike WriteRand, the device TLB is replayed once per translation
+  /// range the flush touches, so partial tail flushes and flushes that
+  /// straddle a range boundary are accounted with their true size and
+  /// alignment.
+  void Flush(const mem::Buffer& buf, uint64_t offset, uint64_t size);
 
   // --- Traffic with caller-managed translation ---
   // Partitioning kernels model the per-SM L1 TLB / shared-L2-slice
@@ -104,6 +108,57 @@ class KernelContext {
                  bool random) {
     Account(buf.base_addr() + offset, size, buf.LocationOf(offset),
             /*is_write=*/false, random, /*replay_tlb=*/false);
+  }
+
+  // --- Checked functional access (DeviceSanitizer) ---
+  //
+  // Kernels that want their functional stores audited against their
+  // accounted traffic go through these instead of raw pointers; with the
+  // sanitizer disabled they compile down to the raw access. The raw-pointer
+  // path remains available for benches.
+
+  /// Stores `value` at element `index` of `buf` viewed as a T array and
+  /// records the write in the sanitizer's shadow map.
+  template <typename T>
+  void Store(mem::Buffer& buf, uint64_t index, const T& value) {
+    const uint64_t offset = index * sizeof(T);
+    DCHECK_LE(offset + sizeof(T), buf.size());
+    *reinterpret_cast<T*>(buf.data() + offset) = value;
+    if (san_ != nullptr) {
+      san_->RecordFunctionalWrite(buf.base_addr() + offset, sizeof(T));
+    }
+  }
+
+  /// Loads element `index` of `buf` viewed as a T array (bounds-checked).
+  template <typename T>
+  T Load(const mem::Buffer& buf, uint64_t index) const {
+    const uint64_t offset = index * sizeof(T);
+    DCHECK_LE(offset + sizeof(T), buf.size());
+    return *reinterpret_cast<const T*>(buf.data() + offset);
+  }
+
+  /// The device's sanitizer, or null when checking is disabled. Kernels
+  /// hand it to sanitizer::ScratchpadShadow (which accepts null).
+  sanitizer::DeviceSanitizer* sanitizer() { return san_; }
+
+  /// Sets the thread-block provenance for sanitizer reports.
+  void SetSanitizerBlock(uint32_t block) {
+    if (san_ != nullptr) san_->set_block(block);
+  }
+
+  /// Sets the warp/partition provenance for sanitizer reports (call before
+  /// accounting a flush so violations carry the flush site).
+  void SetSanitizerFlushSite(uint32_t warp, int64_t partition) {
+    if (san_ != nullptr) {
+      san_->set_warp(warp);
+      san_->set_partition(partition);
+    }
+  }
+
+  /// Declares the launch's input size and minimum bytes-per-tuple for the
+  /// sanitizer's counter lint.
+  void ExpectTuples(uint64_t tuples, uint64_t min_bytes_per_tuple) {
+    if (san_ != nullptr) san_->ExpectTuples(tuples, min_bytes_per_tuple);
   }
 
   // --- Execution accounting ---
@@ -140,6 +195,7 @@ class KernelContext {
 
   Device* device_;
   KernelConfig config_;
+  sanitizer::DeviceSanitizer* san_ = nullptr;
   sim::PerfCounters counters_;
   double random_latency_sum_ = 0.0;
   uint64_t random_accesses_ = 0;
@@ -148,10 +204,16 @@ class KernelContext {
 /// The simulated GPU.
 class Device {
  public:
+  /// `sanitize` controls the DeviceSanitizer for this device; the default
+  /// follows sanitizer::DefaultEnabled() (on in tests, off in benches,
+  /// overridable with the TRITON_SANITIZER environment variable).
   explicit Device(const sim::HwSpec& hw);
+  Device(const sim::HwSpec& hw, bool sanitize);
+  ~Device();
 
   /// Runs `body` as one kernel and returns its record. The GPU TLB is
-  /// flushed before the kernel starts.
+  /// flushed before the kernel starts. With the sanitizer enabled, the
+  /// launch's shadow state is checked when `body` returns.
   KernelRecord Launch(const KernelConfig& config,
                       const std::function<void(KernelContext&)>& body);
 
@@ -160,6 +222,10 @@ class Device {
   void Record(const KernelRecord& record) { trace_.push_back(record); }
 
   mem::Allocator& allocator() { return allocator_; }
+
+  /// The device's checking layer, or null when disabled.
+  sanitizer::DeviceSanitizer* sanitizer() { return san_.get(); }
+
   const sim::HwSpec& hw() const { return hw_; }
   const sim::CostModel& cost_model() const { return cost_model_; }
   sim::TlbSimulator& tlb() { return tlb_; }
@@ -180,6 +246,7 @@ class Device {
   sim::Packetizer packetizer_;
   sim::TlbSimulator tlb_;
   mem::Allocator allocator_;
+  std::unique_ptr<sanitizer::DeviceSanitizer> san_;
   std::vector<KernelRecord> trace_;
 };
 

@@ -85,16 +85,15 @@ void ScratchJoiner::JoinSlices(
     ctx.Charge(static_cast<uint64_t>(built * costs_.build_cycles));
 
     // --- Probe chunk: stream all of S against this build chunk ---
-    partition::Tuple* out =
-        result != nullptr ? result->as<partition::Tuple>() : nullptr;
     for (const auto& [begin, count] : s_slices) {
       ctx.ReadSeq(s_rows, begin * sizeof(partition::Tuple),
                   count * sizeof(partition::Tuple));
       for (uint64_t i = begin; i < begin + count; ++i) {
         const partition::Tuple& t = s_data[i];
         table.Probe(t.key, radix_shift, [&](int64_t build_val) {
-          if (out != nullptr) {
-            out[*result_cursor] = {build_val, t.value};
+          if (result != nullptr) {
+            ctx.Store(*result, *result_cursor,
+                      partition::Tuple{build_val, t.value});
             ++*result_cursor;
           }
           ++*matches;

@@ -103,6 +103,7 @@ util::StatusOr<Buffer> Allocator::AllocateImpl(uint64_t bytes,
   buf.gpu_bytes_ = gpu_bytes;
   buf.placement_ = placement;
   buf.owner_ = this;
+  if (observer_ != nullptr) observer_->OnAlloc(buf);
   return buf;
 }
 
@@ -143,6 +144,7 @@ util::StatusOr<Buffer> Allocator::AllocateInterleaved(uint64_t bytes,
 void Allocator::Free(Buffer& buffer) {
   if (buffer.data_ == nullptr) return;
   CHECK(buffer.owner_ == this);
+  if (observer_ != nullptr) observer_->OnFree(buffer);
   uint64_t padded = util::AlignUp(buffer.size_, buffer.page_bytes_);
   gpu_used_ -= buffer.gpu_bytes_;
   cpu_used_ -= padded - buffer.gpu_bytes_;

@@ -17,6 +17,18 @@
 
 namespace triton::mem {
 
+/// Receives allocation lifecycle events. The DeviceSanitizer registers one
+/// to maintain its live-allocation shadow map; the interface lives here so
+/// mem stays independent of the sanitizer layer.
+class AllocationObserver {
+ public:
+  virtual ~AllocationObserver() = default;
+  /// Called after `buffer` was successfully allocated.
+  virtual void OnAlloc(const Buffer& buffer) = 0;
+  /// Called before `buffer`'s storage is released.
+  virtual void OnFree(const Buffer& buffer) = 0;
+};
+
 /// Allocates simulated-placement buffers and tracks pool usage.
 class Allocator {
  public:
@@ -43,6 +55,10 @@ class Allocator {
   /// Frees a buffer explicitly (also happens on Buffer destruction).
   void Free(Buffer& buffer);
 
+  /// Registers `observer` for alloc/free events (null to unregister). The
+  /// observer must outlive all allocations made while it is registered.
+  void set_observer(AllocationObserver* observer) { observer_ = observer; }
+
   uint64_t gpu_used() const { return gpu_used_; }
   uint64_t gpu_capacity() const { return hw_.gpu_mem.capacity; }
   uint64_t gpu_free() const { return gpu_capacity() - gpu_used_; }
@@ -58,6 +74,7 @@ class Allocator {
   uint64_t gpu_used_ = 0;
   uint64_t cpu_used_ = 0;
   int64_t live_buffers_ = 0;
+  AllocationObserver* observer_ = nullptr;
 };
 
 }  // namespace triton::mem

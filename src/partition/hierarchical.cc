@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "partition/shared.h"
+#include "sanitizer/sanitizer.h"
 #include "util/bits.h"
 
 namespace triton::partition {
@@ -44,7 +45,6 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
                                           const PartitionLayout& layout,
                                           mem::Buffer& out,
                                           const PartitionOptions& opts) {
-  Tuple* out_rows = out.as<Tuple>();
   const RadixConfig radix = layout.radix();
   const uint32_t fanout = radix.fanout();
   const uint32_t l1_cap =
@@ -75,72 +75,97 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
           uint64_t end) -> uint64_t {
         std::vector<Tuple> l1(static_cast<uint64_t>(fanout) * l1_cap);
         std::vector<uint32_t> l1_fill(fanout, 0);
-        std::vector<Tuple> l2(have_l2
-                                  ? static_cast<uint64_t>(fanout) * l2_cap
-                                  : 0);
         std::vector<uint32_t> l2_fill(fanout, 0);
+        // L1 buffer locks use ids [0, fanout); the L2 buffers in GPU memory
+        // are guarded by lock ids [fanout, 2 * fanout).
+        sanitizer::ScratchpadShadow shadow(ctx.sanitizer(),
+                                           l1.size() * sizeof(Tuple),
+                                           ctx.scratchpad_bytes());
         uint64_t flushes = 0;
 
         // L2 flush: one large, aligned write to the output (asynchronous on
         // the real GPU thanks to the spare-buffer swap; the swap itself is
-        // a pointer update inside the critical section).
-        auto flush_l2 = [&](uint32_t p, uint32_t count) {
+        // a pointer update inside the critical section). The staged tuples
+        // live in the real l2_storage buffer, so the sanitizer audits the
+        // read-back against the accounted GPU-memory traffic.
+        auto flush_l2 = [&](uint32_t p, uint32_t count, uint32_t warp) {
+          shadow.AcquireLock(fanout + p, warp);
+          shadow.NoteFlush(fanout + p, warp);
           uint64_t at = st.cursors[p];
           for (uint32_t i = 0; i < count; ++i) {
-            out_rows[at + i] = l2[static_cast<uint64_t>(p) * l2_cap + i];
+            ctx.Store(out, at + i,
+                      ctx.Load<Tuple>(*l2_storage,
+                                      static_cast<uint64_t>(p) * l2_cap + i));
           }
           // Reading the staged tuples back out of GPU memory.
           ctx.ReadNoTlb(*l2_storage, static_cast<uint64_t>(p) * l2_cap *
                                          sizeof(Tuple),
                         static_cast<uint64_t>(count) * sizeof(Tuple),
                         /*random=*/false);
-          internal::AccountFlush(ctx, *st.tlb, out, at, count);
+          internal::AccountFlush(ctx, *st.tlb, out, at, count, p, warp);
           ctx.Charge(static_cast<uint64_t>(kFlushCycles));
           st.cursors[p] = at + count;
           l2_fill[p] = 0;
+          shadow.ReleaseLock(fanout + p, warp);
           ++flushes;
         };
 
         // L1 eviction: append the full scratchpad buffer to the partition's
         // L2 buffer in GPU memory.
-        auto evict_l1 = [&](uint32_t p, uint32_t count) {
+        auto evict_l1 = [&](uint32_t p, uint32_t count, uint32_t warp) {
+          shadow.AcquireLock(p, warp);
+          shadow.NoteFlush(p, warp);
+          const uint64_t l1_off = static_cast<uint64_t>(p) * l1_cap *
+                                  sizeof(Tuple);
+          shadow.Load(l1_off, static_cast<uint64_t>(count) * sizeof(Tuple),
+                      warp);
           if (!have_l2) {
             // Degraded mode: flush L1 straight to the output.
             uint64_t at = st.cursors[p];
             for (uint32_t i = 0; i < count; ++i) {
-              out_rows[at + i] = l1[static_cast<uint64_t>(p) * l1_cap + i];
+              ctx.Store(out, at + i, l1[static_cast<uint64_t>(p) * l1_cap + i]);
             }
-            internal::AccountFlush(ctx, *st.tlb, out, at, count);
+            internal::AccountFlush(ctx, *st.tlb, out, at, count, p, warp);
             ctx.Charge(static_cast<uint64_t>(kFlushCycles));
             st.cursors[p] = at + count;
-            l1_fill[p] = 0;
             ++flushes;
-            return;
+          } else {
+            if (l2_fill[p] + count > l2_cap) flush_l2(p, l2_fill[p], warp);
+            shadow.AcquireLock(fanout + p, warp);
+            for (uint32_t i = 0; i < count; ++i) {
+              ctx.Store(*l2_storage,
+                        static_cast<uint64_t>(p) * l2_cap + l2_fill[p] + i,
+                        l1[static_cast<uint64_t>(p) * l1_cap + i]);
+            }
+            ctx.WriteNoTlb(*l2_storage,
+                           (static_cast<uint64_t>(p) * l2_cap + l2_fill[p]) *
+                               sizeof(Tuple),
+                           static_cast<uint64_t>(count) * sizeof(Tuple),
+                           /*random=*/false);
+            l2_fill[p] += count;
+            shadow.ReleaseLock(fanout + p, warp);
           }
-          if (l2_fill[p] + count > l2_cap) flush_l2(p, l2_fill[p]);
-          for (uint32_t i = 0; i < count; ++i) {
-            l2[static_cast<uint64_t>(p) * l2_cap + l2_fill[p] + i] =
-                l1[static_cast<uint64_t>(p) * l1_cap + i];
-          }
-          ctx.WriteNoTlb(*l2_storage,
-                         (static_cast<uint64_t>(p) * l2_cap + l2_fill[p]) *
-                             sizeof(Tuple),
-                         static_cast<uint64_t>(count) * sizeof(Tuple),
-                         /*random=*/false);
-          l2_fill[p] += count;
           l1_fill[p] = 0;
+          shadow.SyncRange(l1_off,
+                           static_cast<uint64_t>(l1_cap) * sizeof(Tuple));
+          shadow.ReleaseLock(p, warp);
         };
 
         for (uint64_t i = begin; i < end; ++i) {
           Tuple t = input.Get(i);
           uint32_t p = radix.PartitionOf(t.key);
-          if (l1_fill[p] == l1_cap) evict_l1(p, l1_cap);
+          const uint32_t warp = internal::SimWarpOf(i - begin,
+                                                    ctx.warp_size());
+          if (l1_fill[p] == l1_cap) evict_l1(p, l1_cap, warp);
+          shadow.Store((static_cast<uint64_t>(p) * l1_cap + l1_fill[p]) *
+                           sizeof(Tuple),
+                       sizeof(Tuple), warp);
           l1[static_cast<uint64_t>(p) * l1_cap + l1_fill[p]++] = t;
         }
-        // Drain both levels at end of input.
+        // Drain both levels at end of input (leader warp 0).
         for (uint32_t p = 0; p < fanout; ++p) {
-          if (l1_fill[p] > 0) evict_l1(p, l1_fill[p]);
-          if (have_l2 && l2_fill[p] > 0) flush_l2(p, l2_fill[p]);
+          if (l1_fill[p] > 0) evict_l1(p, l1_fill[p], 0);
+          if (have_l2 && l2_fill[p] > 0) flush_l2(p, l2_fill[p], 0);
         }
         return flushes;
       });

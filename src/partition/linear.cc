@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "sanitizer/sanitizer.h"
+
 namespace triton::partition {
 
 namespace {
@@ -19,7 +21,6 @@ PartitionRun LinearPartitioner::Run(exec::Device& dev, const Input& input,
                                     const PartitionLayout& layout,
                                     mem::Buffer& out,
                                     const PartitionOptions& opts) {
-  Tuple* out_rows = out.as<Tuple>();
   const RadixConfig radix = layout.radix();
   const uint32_t fanout = radix.fanout();
   // The whole scratchpad holds one batch.
@@ -34,15 +35,22 @@ PartitionRun LinearPartitioner::Run(exec::Device& dev, const Input& input,
       [&](exec::KernelContext& ctx, internal::BlockState& st, uint64_t begin,
           uint64_t end) -> uint64_t {
         std::vector<uint32_t> counts(fanout);
+        sanitizer::ScratchpadShadow shadow(
+            ctx.sanitizer(),
+            static_cast<uint64_t>(batch_tuples) * sizeof(Tuple),
+            ctx.scratchpad_bytes());
         uint64_t flushes = 0;
         for (uint64_t base = begin; base < end; base += batch_tuples) {
           uint64_t batch_end = std::min(end, base + batch_tuples);
           // Sort the batch by partition inside the scratchpad (functional
           // equivalent: per-partition run counting; the reorder itself is
-          // scratchpad-local and charged via the cycle constant).
+          // scratchpad-local and charged via the cycle constant). Each
+          // tuple is staged once into the arena by its owning warp.
           std::fill(counts.begin(), counts.end(), 0u);
           for (uint64_t i = base; i < batch_end; ++i) {
             ++counts[radix.PartitionOf(input.Get(i).key)];
+            shadow.Store((i - base) * sizeof(Tuple), sizeof(Tuple),
+                         internal::SimWarpOf(i - base, ctx.warp_size()));
           }
           // Flush each partition's run to its cursor. Run lengths are
           // data-dependent and cursors are not re-aligned, so coalescing is
@@ -50,14 +58,20 @@ PartitionRun LinearPartitioner::Run(exec::Device& dev, const Input& input,
           for (uint32_t p = 0; p < fanout; ++p) {
             if (counts[p] == 0) continue;
             internal::AccountFlush(ctx, *st.tlb, out, st.cursors[p],
-                                   counts[p]);
+                                   counts[p], p, /*warp=*/0);
             ++flushes;
           }
-          // Functional scatter (stable within the batch).
+          // Functional scatter (stable within the batch); the flush is a
+          // block-wide synchronization point, after which the arena is
+          // reusable for the next batch.
+          shadow.Load(0, (batch_end - base) * sizeof(Tuple), /*warp=*/0);
           for (uint64_t i = base; i < batch_end; ++i) {
             Tuple t = input.Get(i);
-            out_rows[st.cursors[radix.PartitionOf(t.key)]++] = t;
+            ctx.Store(out, st.cursors[radix.PartitionOf(t.key)]++, t);
           }
+          shadow.SyncRange(0,
+                           static_cast<uint64_t>(batch_tuples) *
+                               sizeof(Tuple));
         }
         return flushes;
       });

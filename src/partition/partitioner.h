@@ -96,11 +96,25 @@ struct BlockState {
   sim::BlockTlb* tlb = nullptr;
 };
 
+/// Warps a simulated thread block schedules (a typical 256-thread block).
+/// The kernel drivers consume the input in warp-sized batches round-robined
+/// over these warps; the id feeds the sanitizer's racecheck and the
+/// provenance in violation reports.
+inline constexpr uint32_t kSimWarpsPerBlock = 8;
+
+/// Simulated warp id owning the block-relative tuple `idx`.
+inline uint32_t SimWarpOf(uint64_t idx, uint32_t warp_size) {
+  return static_cast<uint32_t>((idx / warp_size) % kSimWarpsPerBlock);
+}
+
 /// Accounts one output flush of `count` tuples at tuple offset `at`:
 /// packetizes the write and replays the block TLB once per translation
-/// range the flush touches. Returns nothing; counters accumulate in ctx.
+/// range the flush touches. `partition` and `warp` tag the flush site for
+/// sanitizer reports. Returns nothing; counters accumulate in ctx.
 inline void AccountFlush(exec::KernelContext& ctx, sim::BlockTlb& tlb,
-                         const mem::Buffer& out, uint64_t at, uint64_t count) {
+                         const mem::Buffer& out, uint64_t at, uint64_t count,
+                         int64_t partition = -1, uint32_t warp = 0) {
+  ctx.SetSanitizerFlushSite(warp, partition);
   const uint64_t offset = at * sizeof(Tuple);
   const uint64_t size = count * sizeof(Tuple);
   ctx.WriteNoTlb(out, offset, size, /*random=*/true);
@@ -135,10 +149,12 @@ PartitionRun RunPartitionKernel(exec::Device& dev, const Input& input,
     const uint64_t n = input.size();
     const uint64_t chunk = (n + num_blocks - 1) / num_blocks;
     const uint32_t fanout = layout.fanout();
+    ctx.ExpectTuples(n, sizeof(Tuple));
     for (uint32_t b = 0; b < num_blocks; ++b) {
       uint64_t begin = static_cast<uint64_t>(b) * chunk;
       uint64_t end = std::min(n, begin + chunk);
       if (begin >= end) continue;
+      ctx.SetSanitizerBlock(b);
       input.AccountRead(ctx, begin, end);
 
       sim::BlockTlb tlb(dev.hw().tlb, num_blocks, &dev.tlb());

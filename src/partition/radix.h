@@ -11,6 +11,7 @@
 
 #include "data/relation.h"
 #include "hash/hash_fn.h"
+#include "util/logging.h"
 
 namespace triton::partition {
 
@@ -20,7 +21,10 @@ struct RadixConfig {
   uint32_t bits = 0;
 
   /// Number of partitions this pass produces.
-  uint32_t fanout() const { return 1u << bits; }
+  uint32_t fanout() const {
+    DCHECK_LT(bits, 32u);  // 1u << 32 is undefined behaviour
+    return 1u << bits;
+  }
 
   /// Partition index of a key.
   uint32_t PartitionOf(data::Key key) const {

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "sanitizer/sanitizer.h"
+
 namespace triton::partition {
 
 uint32_t SwwcBufferTuples(uint64_t scratchpad_bytes, uint32_t fanout) {
@@ -26,7 +28,6 @@ PartitionRun SharedPartitioner::Run(exec::Device& dev, const Input& input,
                                     const PartitionLayout& layout,
                                     mem::Buffer& out,
                                     const PartitionOptions& opts) {
-  Tuple* out_rows = out.as<Tuple>();
   const RadixConfig radix = layout.radix();
   const uint32_t fanout = radix.fanout();
   const uint32_t cap = SwwcBufferTuples(dev.hw().gpu.scratchpad_bytes, fanout);
@@ -40,17 +41,31 @@ PartitionRun SharedPartitioner::Run(exec::Device& dev, const Input& input,
         // Block-shared scratchpad buffers: one per partition, `cap` tuples.
         std::vector<Tuple> buffers(static_cast<uint64_t>(fanout) * cap);
         std::vector<uint32_t> fill(fanout, 0);
+        sanitizer::ScratchpadShadow shadow(ctx.sanitizer(),
+                                           buffers.size() * sizeof(Tuple),
+                                           ctx.scratchpad_bytes());
         uint64_t flushes = 0;
 
-        auto flush = [&](uint32_t p, uint32_t count) {
+        // Flush phase (Figure 8): the leader warp takes the buffer lock,
+        // drains the buffer to the partition cursor and marks the buffer
+        // empty before releasing.
+        auto flush = [&](uint32_t p, uint32_t count, uint32_t warp) {
+          shadow.AcquireLock(p, warp);
+          shadow.NoteFlush(p, warp);
+          const uint64_t buf_off = static_cast<uint64_t>(p) * cap *
+                                   sizeof(Tuple);
+          shadow.Load(buf_off, static_cast<uint64_t>(count) * sizeof(Tuple),
+                      warp);
           uint64_t at = st.cursors[p];
           for (uint32_t i = 0; i < count; ++i) {
-            out_rows[at + i] = buffers[static_cast<uint64_t>(p) * cap + i];
+            ctx.Store(out, at + i, buffers[static_cast<uint64_t>(p) * cap + i]);
           }
-          internal::AccountFlush(ctx, *st.tlb, out, at, count);
+          internal::AccountFlush(ctx, *st.tlb, out, at, count, p, warp);
           ctx.Charge(static_cast<uint64_t>(kFlushCycles));
           st.cursors[p] = at + count;
           fill[p] = 0;
+          shadow.SyncRange(buf_off, static_cast<uint64_t>(cap) * sizeof(Tuple));
+          shadow.ReleaseLock(p, warp);
           ++flushes;
         };
 
@@ -60,12 +75,17 @@ PartitionRun SharedPartitioner::Run(exec::Device& dev, const Input& input,
         for (uint64_t i = begin; i < end; ++i) {
           Tuple t = input.Get(i);
           uint32_t p = radix.PartitionOf(t.key);
-          if (fill[p] == cap) flush(p, cap);
+          const uint32_t warp = internal::SimWarpOf(i - begin,
+                                                    ctx.warp_size());
+          if (fill[p] == cap) flush(p, cap, warp);
+          shadow.Store((static_cast<uint64_t>(p) * cap + fill[p]) *
+                           sizeof(Tuple),
+                       sizeof(Tuple), warp);
           buffers[static_cast<uint64_t>(p) * cap + fill[p]++] = t;
         }
-        // End of input: drain the partially filled buffers.
+        // End of input: the leader warp drains the partially filled buffers.
         for (uint32_t p = 0; p < fanout; ++p) {
-          if (fill[p] > 0) flush(p, fill[p]);
+          if (fill[p] > 0) flush(p, fill[p], 0);
         }
         return flushes;
       });

@@ -7,7 +7,6 @@ PartitionRun StandardPartitioner::Run(exec::Device& dev, const Input& input,
                                       const PartitionLayout& layout,
                                       mem::Buffer& out,
                                       const PartitionOptions& opts) {
-  Tuple* out_rows = out.as<Tuple>();
   const RadixConfig radix = layout.radix();
   PartitionOptions o = opts;
   if (o.name.empty()) o.name = "standard";
@@ -28,20 +27,22 @@ PartitionRun StandardPartitioner::Run(exec::Device& dev, const Input& input,
         uint64_t writes = 0;
         for (uint64_t i = begin; i < end; i += warp) {
           uint64_t batch_end = std::min(end, i + warp);
+          const uint32_t sim_warp = internal::SimWarpOf(i - begin, warp);
           for (uint64_t j = i; j < batch_end; ++j) {
             uint32_t p = radix.PartitionOf(input.Get(j).key);
             if (run_count[p]++ == 0) touched.push_back(p);
           }
           for (uint32_t p : touched) {
             uint64_t at = st.cursors[p];
-            internal::AccountFlush(ctx, *st.tlb, out, at, run_count[p]);
+            internal::AccountFlush(ctx, *st.tlb, out, at, run_count[p], p,
+                                   sim_warp);
             ++writes;
             run_count[p] = 0;
           }
           touched.clear();
           for (uint64_t j = i; j < batch_end; ++j) {
             Tuple t = input.Get(j);
-            out_rows[st.cursors[radix.PartitionOf(t.key)]++] = t;
+            ctx.Store(out, st.cursors[radix.PartitionOf(t.key)]++, t);
           }
         }
         return writes;

@@ -1,0 +1,401 @@
+#include "sanitizer/sanitizer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace triton::sanitizer {
+
+namespace {
+
+/// -1 unknown, 0 disabled, 1 enabled.
+int g_default_enabled = 0;
+
+}  // namespace
+
+bool DefaultEnabled() {
+  const char* env = std::getenv("TRITON_SANITIZER");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strcmp(env, "0") != 0;
+  }
+  return g_default_enabled != 0;
+}
+
+void SetDefaultEnabled(bool enabled) { g_default_enabled = enabled ? 1 : 0; }
+
+const char* ViolationCodeName(ViolationCode code) {
+  switch (code) {
+    case ViolationCode::kAccountedOutOfBounds:
+      return "AccountedOutOfBounds";
+    case ViolationCode::kUnaccountedWrite:
+      return "UnaccountedWrite";
+    case ViolationCode::kScratchpadOutOfBounds:
+      return "ScratchpadOutOfBounds";
+    case ViolationCode::kScratchpadUseBeforeInit:
+      return "ScratchpadUseBeforeInit";
+    case ViolationCode::kScratchpadRace:
+      return "ScratchpadRace";
+    case ViolationCode::kLockProtocol:
+      return "LockProtocol";
+    case ViolationCode::kCounterInvariant:
+      return "CounterInvariant";
+  }
+  return "Unknown";
+}
+
+util::Status Violation::ToStatus() const {
+  return util::Status::FailedPrecondition(std::string(ViolationCodeName(code)) +
+                                          ": " + message);
+}
+
+// --- RangeSet ---
+
+void DeviceSanitizer::RangeSet::Add(uint64_t begin, uint64_t end) {
+  if (begin >= end) return;
+  // Merge with any overlapping or adjacent intervals.
+  auto it = ranges.upper_bound(begin);
+  if (it != ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = ranges.erase(prev);
+    }
+  }
+  while (it != ranges.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = ranges.erase(it);
+  }
+  ranges.emplace(begin, end);
+}
+
+uint64_t DeviceSanitizer::RangeSet::UncoveredBy(const RangeSet& cover) const {
+  uint64_t uncovered = 0;
+  for (const auto& [begin, end] : ranges) {
+    uint64_t pos = begin;
+    // Walk the covering intervals that overlap [pos, end).
+    auto it = cover.ranges.upper_bound(pos);
+    if (it != cover.ranges.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > pos) it = prev;
+    }
+    while (pos < end) {
+      if (it == cover.ranges.end() || it->first >= end) {
+        uncovered += end - pos;
+        break;
+      }
+      if (it->first > pos) uncovered += it->first - pos;
+      pos = std::max(pos, it->second);
+      ++it;
+    }
+  }
+  return uncovered;
+}
+
+uint64_t DeviceSanitizer::RangeSet::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [begin, end] : ranges) total += end - begin;
+  return total;
+}
+
+// --- Liveness ---
+
+void DeviceSanitizer::OnAlloc(const mem::Buffer& buffer) {
+  live_[buffer.base_addr()] = LiveAllocation{buffer.size()};
+}
+
+void DeviceSanitizer::OnFree(const mem::Buffer& buffer) {
+  const uint64_t base = buffer.base_addr();
+  live_.erase(base);
+  // A later allocation may reuse the address; drop stale shadow intervals.
+  functional_writes_.erase(base);
+  accounted_writes_.erase(base);
+}
+
+std::map<uint64_t, DeviceSanitizer::LiveAllocation>::const_iterator
+DeviceSanitizer::FindAllocation(uint64_t addr) const {
+  auto it = live_.upper_bound(addr);
+  if (it == live_.begin()) return live_.end();
+  --it;
+  if (addr >= it->first + it->second.size) return live_.end();
+  return it;
+}
+
+// --- Launch lifecycle ---
+
+void DeviceSanitizer::BeginLaunch(const std::string& kernel) {
+  scope_ = Scope();
+  scope_.kernel = kernel;
+  in_launch_ = true;
+  functional_writes_.clear();
+  accounted_writes_.clear();
+  expect_set_ = false;
+}
+
+void DeviceSanitizer::EndLaunch(const sim::PerfCounters& counters) {
+  // 1. Accounting completeness: every checked functional write must be
+  //    covered by accounted write traffic on the same allocation.
+  for (const auto& [base, functional] : functional_writes_) {
+    auto acc = accounted_writes_.find(base);
+    static const RangeSet kEmpty;
+    const RangeSet& accounted =
+        acc != accounted_writes_.end() ? acc->second : kEmpty;
+    uint64_t uncovered = functional.UncoveredBy(accounted);
+    if (uncovered > tolerance_bytes_) {
+      std::ostringstream msg;
+      msg << uncovered << " B of functional writes to allocation at 0x"
+          << std::hex << base << std::dec << " (" << functional.TotalBytes()
+          << " B stored, " << accounted.TotalBytes()
+          << " B accounted) have no accounted traffic";
+      Report(ViolationCode::kUnaccountedWrite, msg.str());
+    }
+  }
+
+  // 2. Counter lint.
+  if (expect_set_) {
+    if (counters.tuples != expected_tuples_) {
+      std::ostringstream msg;
+      msg << "kernel processed " << counters.tuples << " tuples, expected "
+          << expected_tuples_;
+      Report(ViolationCode::kCounterInvariant, msg.str());
+    }
+    uint64_t accounted_bytes = counters.gpu_mem_read + counters.gpu_mem_write +
+                               counters.link_read_payload +
+                               counters.link_write_payload +
+                               counters.cpu_mem_read + counters.cpu_mem_write;
+    uint64_t floor = expected_tuples_ * expected_min_width_;
+    if (accounted_bytes < floor) {
+      std::ostringstream msg;
+      msg << "accounted " << accounted_bytes << " B of traffic, below the "
+          << floor << " B floor (" << expected_tuples_ << " tuples x "
+          << expected_min_width_ << " B)";
+      Report(ViolationCode::kCounterInvariant, msg.str());
+    }
+    // Only linted for kernels that declared expectations: copy-engine
+    // transfers legitimately move tuples without charging SM issue slots.
+    if (counters.tuples > 0 && counters.issue_slots == 0) {
+      Report(ViolationCode::kCounterInvariant,
+             "kernel processed tuples but charged zero issue slots");
+    }
+  }
+
+  functional_writes_.clear();
+  accounted_writes_.clear();
+  expect_set_ = false;
+  in_launch_ = false;
+  scope_ = Scope();
+}
+
+// --- Recording ---
+
+void DeviceSanitizer::RecordAccounted(uint64_t addr, uint64_t size,
+                                      bool is_write) {
+  if (size == 0) return;
+  auto it = FindAllocation(addr);
+  if (it == live_.end()) {
+    std::ostringstream msg;
+    msg << "accounted " << (is_write ? "write" : "read") << " of " << size
+        << " B at 0x" << std::hex << addr << std::dec
+        << " hits no live allocation";
+    Report(ViolationCode::kAccountedOutOfBounds, msg.str());
+    return;
+  }
+  const uint64_t end = it->first + it->second.size;
+  if (addr + size > end) {
+    std::ostringstream msg;
+    msg << (is_write ? "flush wrote " : "read overran ") << addr + size - end
+        << " B past extent of the " << it->second.size
+        << " B allocation at 0x" << std::hex << it->first << std::dec;
+    Report(ViolationCode::kAccountedOutOfBounds, msg.str());
+    // Clamp so the coverage bookkeeping stays inside the allocation.
+    size = end - addr;
+  }
+  if (is_write && in_launch_) {
+    accounted_writes_[it->first].Add(addr, addr + size);
+  }
+}
+
+void DeviceSanitizer::RecordFunctionalWrite(uint64_t addr, uint64_t size) {
+  if (size == 0 || !in_launch_) return;
+  auto it = FindAllocation(addr);
+  if (it == live_.end()) return;  // raw CHECK macros guard this path already
+  functional_writes_[it->first].Add(addr, addr + size);
+}
+
+void DeviceSanitizer::ExpectTuples(uint64_t tuples,
+                                   uint64_t min_bytes_per_tuple) {
+  expect_set_ = true;
+  expected_tuples_ = tuples;
+  expected_min_width_ = min_bytes_per_tuple;
+}
+
+// --- Reporting ---
+
+std::string DeviceSanitizer::ScopePrefix(uint32_t warp) const {
+  std::ostringstream out;
+  out << "kernel " << scope_.kernel << ", block " << scope_.block << ", warp "
+      << warp;
+  if (scope_.partition >= 0) out << ", partition " << scope_.partition;
+  out << ": ";
+  return out.str();
+}
+
+void DeviceSanitizer::Report(ViolationCode code, const std::string& detail) {
+  ReportAtWarp(code, scope_.warp, detail);
+}
+
+void DeviceSanitizer::ReportAtWarp(ViolationCode code, uint32_t warp,
+                                   const std::string& detail) {
+  Violation v;
+  v.code = code;
+  v.kernel = scope_.kernel;
+  v.block = scope_.block;
+  v.warp = warp;
+  v.partition = scope_.partition;
+  v.message = ScopePrefix(warp) + detail;
+  violations_.push_back(std::move(v));
+}
+
+std::vector<Violation> DeviceSanitizer::TakeViolations() {
+  std::vector<Violation> out;
+  out.swap(violations_);
+  return out;
+}
+
+util::Status DeviceSanitizer::CheckOk() const {
+  if (violations_.empty()) return util::Status::OK();
+  return violations_.front().ToStatus();
+}
+
+// --- ScratchpadShadow ---
+
+ScratchpadShadow::ScratchpadShadow(DeviceSanitizer* san, uint64_t bytes,
+                                   uint64_t capacity_bytes)
+    : san_(san), bytes_(bytes) {
+  if (san_ == nullptr) return;
+  if (bytes > capacity_bytes) {
+    std::ostringstream msg;
+    msg << "scratchpad arena of " << bytes << " B exceeds the "
+        << capacity_bytes << " B per-block capacity";
+    san_->Report(ViolationCode::kScratchpadOutOfBounds, msg.str());
+  }
+  const uint64_t words = (bytes + kWordBytes - 1) / kWordBytes;
+  last_writer_.assign(words, -1);
+  initialized_.assign(words, 0);
+}
+
+bool ScratchpadShadow::CheckBounds(uint64_t offset, uint64_t size,
+                                   uint32_t warp, const char* what) {
+  if (offset + size <= bytes_) return true;
+  std::ostringstream msg;
+  msg << "scratchpad " << what << " of " << size << " B at offset " << offset
+      << " overruns the " << bytes_ << " B arena by "
+      << offset + size - bytes_ << " B";
+  san_->ReportAtWarp(ViolationCode::kScratchpadOutOfBounds, warp, msg.str());
+  return false;
+}
+
+void ScratchpadShadow::Store(uint64_t offset, uint64_t size, uint32_t warp) {
+  if (san_ == nullptr || size == 0) return;
+  if (!CheckBounds(offset, size, warp, "store")) return;
+  const uint64_t first = offset / kWordBytes;
+  const uint64_t last = (offset + size - 1) / kWordBytes;
+  for (uint64_t w = first; w <= last; ++w) {
+    int32_t prev = last_writer_[w];
+    if (prev >= 0 && static_cast<uint32_t>(prev) != warp) {
+      std::ostringstream msg;
+      msg << "warps " << prev << " and " << warp
+          << " wrote scratchpad word at offset " << w * kWordBytes
+          << " with no synchronization point in between";
+      san_->ReportAtWarp(ViolationCode::kScratchpadRace, warp, msg.str());
+    }
+    last_writer_[w] = static_cast<int32_t>(warp);
+    initialized_[w] = 1;
+  }
+}
+
+void ScratchpadShadow::Load(uint64_t offset, uint64_t size, uint32_t warp) {
+  if (san_ == nullptr || size == 0) return;
+  if (!CheckBounds(offset, size, warp, "load")) return;
+  const uint64_t first = offset / kWordBytes;
+  const uint64_t last = (offset + size - 1) / kWordBytes;
+  for (uint64_t w = first; w <= last; ++w) {
+    if (!initialized_[w]) {
+      std::ostringstream msg;
+      msg << "scratchpad word at offset " << w * kWordBytes
+          << " read before any warp initialized it";
+      san_->ReportAtWarp(ViolationCode::kScratchpadUseBeforeInit, warp,
+                         msg.str());
+      return;  // one report per load is enough
+    }
+  }
+}
+
+void ScratchpadShadow::SyncRange(uint64_t offset, uint64_t size) {
+  if (san_ == nullptr || size == 0) return;
+  const uint64_t first = offset / kWordBytes;
+  const uint64_t last = (offset + size - 1) / kWordBytes;
+  for (uint64_t w = first; w <= last && w < last_writer_.size(); ++w) {
+    last_writer_[w] = -1;
+    initialized_[w] = 0;
+  }
+}
+
+void ScratchpadShadow::Barrier() {
+  if (san_ == nullptr) return;
+  std::fill(last_writer_.begin(), last_writer_.end(), -1);
+}
+
+void ScratchpadShadow::AcquireLock(uint32_t lock, uint32_t warp) {
+  if (san_ == nullptr) return;
+  auto it = lock_holder_.find(lock);
+  if (it != lock_holder_.end()) {
+    // The simulation is sequential: a holder cannot release while another
+    // warp spins, so acquiring a held lock is a re-acquire bug or a
+    // guaranteed deadlock on real hardware.
+    std::ostringstream msg;
+    if (it->second == warp) {
+      msg << "warp re-acquired buffer lock " << lock << " it already holds";
+    } else {
+      msg << "warp acquired buffer lock " << lock << " still held by warp "
+          << it->second << " (deadlock on real hardware)";
+    }
+    san_->ReportAtWarp(ViolationCode::kLockProtocol, warp, msg.str());
+    return;
+  }
+  lock_holder_[lock] = warp;
+}
+
+void ScratchpadShadow::ReleaseLock(uint32_t lock, uint32_t warp) {
+  if (san_ == nullptr) return;
+  auto it = lock_holder_.find(lock);
+  if (it == lock_holder_.end() || it->second != warp) {
+    std::ostringstream msg;
+    msg << "warp released buffer lock " << lock << " it does not hold";
+    san_->ReportAtWarp(ViolationCode::kLockProtocol, warp, msg.str());
+    return;
+  }
+  lock_holder_.erase(it);
+}
+
+void ScratchpadShadow::NoteFlush(uint32_t lock, uint32_t warp) {
+  if (san_ == nullptr) return;
+  auto it = lock_holder_.find(lock);
+  if (it == lock_holder_.end() || it->second != warp) {
+    std::ostringstream msg;
+    msg << "buffer " << lock << " flushed by a warp that does not hold its "
+        << "lock (holder: ";
+    if (it == lock_holder_.end()) {
+      msg << "none";
+    } else {
+      msg << "warp " << it->second;
+    }
+    msg << ")";
+    san_->ReportAtWarp(ViolationCode::kLockProtocol, warp, msg.str());
+  }
+}
+
+}  // namespace triton::sanitizer

@@ -1,0 +1,14 @@
+// Linked into every test binary (tests/CMakeLists.txt): turns the
+// DeviceSanitizer on before main() so each existing test doubles as an
+// accounting audit. TRITON_SANITIZER=0 in the environment overrides.
+
+#include "sanitizer/sanitizer.h"
+
+namespace {
+
+[[maybe_unused]] const bool kSanitizerDefaultOn = [] {
+  triton::sanitizer::SetDefaultEnabled(true);
+  return true;
+}();
+
+}  // namespace

@@ -1,0 +1,295 @@
+// DeviceSanitizer tests: negative tests plant one specific bug each and
+// assert the exact violation code; clean runs check that the instrumented
+// partitioners stay quiet across the fanout range of Figure 18.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "exec/device.h"
+#include "partition/hierarchical.h"
+#include "partition/input.h"
+#include "partition/layout.h"
+#include "partition/prefix_sum.h"
+#include "partition/shared.h"
+#include "sanitizer/sanitizer.h"
+#include "sim/hw_spec.h"
+
+namespace triton::sanitizer {
+namespace {
+
+using partition::ColumnInput;
+using partition::PartitionLayout;
+using partition::PartitionRun;
+using partition::RadixConfig;
+using partition::Tuple;
+
+class SanitizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hw_ = sim::HwSpec::Ac922NvLink().Scaled(64);
+    dev_ = std::make_unique<exec::Device>(hw_, /*sanitize=*/true);
+    ASSERT_NE(dev_->sanitizer(), nullptr);
+  }
+
+  /// Takes all violations and asserts there is exactly one, of `code`.
+  Violation TakeSingle(ViolationCode code) {
+    std::vector<Violation> vs = dev_->sanitizer()->TakeViolations();
+    EXPECT_EQ(vs.size(), 1u) << "expected exactly one violation";
+    if (vs.empty()) return Violation{};
+    EXPECT_EQ(vs.front().code, code) << vs.front().message;
+    return vs.front();
+  }
+
+  sim::HwSpec hw_;
+  std::unique_ptr<exec::Device> dev_;
+};
+
+// --- Enablement ---
+
+TEST(SanitizerEnablementTest, EnvVariableOverridesDefault) {
+  // tests/sanitizer_default.cc turned the default on.
+  EXPECT_TRUE(DefaultEnabled());
+  ASSERT_EQ(setenv("TRITON_SANITIZER", "0", 1), 0);
+  EXPECT_FALSE(DefaultEnabled());
+  sim::HwSpec hw = sim::HwSpec::Ac922NvLink().Scaled(64);
+  exec::Device off(hw);
+  EXPECT_EQ(off.sanitizer(), nullptr);
+  ASSERT_EQ(setenv("TRITON_SANITIZER", "1", 1), 0);
+  exec::Device on(hw);
+  EXPECT_NE(on.sanitizer(), nullptr);
+  ASSERT_EQ(unsetenv("TRITON_SANITIZER"), 0);
+  EXPECT_TRUE(DefaultEnabled());
+}
+
+// --- Negative: accounted traffic out of bounds (the OOB flush) ---
+
+TEST_F(SanitizerTest, FlushPastAllocationExtentIsReported) {
+  auto buf = dev_->allocator().AllocateCpu(1000);
+  ASSERT_TRUE(buf.ok());
+  dev_->Launch({.name = "part1"}, [&](exec::KernelContext& ctx) {
+    ctx.SetSanitizerBlock(12);
+    ctx.SetSanitizerFlushSite(/*warp=*/3, /*partition=*/907);
+    // A flush whose cursor overran its partition extent: the last 8 bytes
+    // are inside the allocation, the following 40 are not.
+    ctx.WriteNoTlb(*buf, buf->size() - 8, 48, /*random=*/true);
+    ctx.AddTuples(1);
+    ctx.Charge(1);
+  });
+  Violation v = TakeSingle(ViolationCode::kAccountedOutOfBounds);
+  EXPECT_NE(v.message.find("kernel part1"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("block 12"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("warp 3"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("partition 907"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("flush wrote 40 B past extent"), std::string::npos)
+      << v.message;
+}
+
+TEST_F(SanitizerTest, AccountedTrafficOutsideAnyAllocationIsReported) {
+  dev_->Launch({.name = "stray"}, [&](exec::KernelContext&) {
+    // No allocation lives at address 0x1000.
+    dev_->sanitizer()->RecordAccounted(0x1000, 64, /*is_write=*/true);
+  });
+  Violation v = TakeSingle(ViolationCode::kAccountedOutOfBounds);
+  EXPECT_NE(v.message.find("hits no live allocation"), std::string::npos)
+      << v.message;
+}
+
+// --- Negative: functional store with no accounted traffic ---
+
+TEST_F(SanitizerTest, UnaccountedStoreIsReported) {
+  auto buf = dev_->allocator().AllocateCpu(4096);
+  ASSERT_TRUE(buf.ok());
+  dev_->Launch({.name = "leaky"}, [&](exec::KernelContext& ctx) {
+    // Functional write through the checked API, but the kernel "forgets"
+    // to account the corresponding traffic.
+    ctx.Store<uint64_t>(*buf, 0, 42);
+    ctx.AddTuples(1);
+    ctx.Charge(1);
+  });
+  Violation v = TakeSingle(ViolationCode::kUnaccountedWrite);
+  EXPECT_NE(v.message.find("have no accounted traffic"), std::string::npos)
+      << v.message;
+}
+
+TEST_F(SanitizerTest, AccountedStoreIsClean) {
+  auto buf = dev_->allocator().AllocateCpu(4096);
+  ASSERT_TRUE(buf.ok());
+  dev_->Launch({.name = "clean"}, [&](exec::KernelContext& ctx) {
+    ctx.Store<uint64_t>(*buf, 1, 42);
+    ctx.WriteSeq(*buf, 0, 64);
+    ctx.AddTuples(1);
+    ctx.Charge(1);
+  });
+  EXPECT_TRUE(dev_->sanitizer()->CheckOk().ok());
+}
+
+// --- Negative: scratchpad memcheck ---
+
+TEST_F(SanitizerTest, ScratchpadUseBeforeInitIsReported) {
+  ScratchpadShadow shadow(dev_->sanitizer(), 1024, hw_.gpu.scratchpad_bytes);
+  shadow.Store(0, 16, /*warp=*/0);
+  shadow.Load(64, 16, /*warp=*/0);  // never written
+  Violation v = TakeSingle(ViolationCode::kScratchpadUseBeforeInit);
+  EXPECT_NE(v.message.find("read before any warp initialized it"),
+            std::string::npos)
+      << v.message;
+}
+
+TEST_F(SanitizerTest, ScratchpadStoreOutOfBoundsIsReported) {
+  ScratchpadShadow shadow(dev_->sanitizer(), 1024, hw_.gpu.scratchpad_bytes);
+  shadow.Store(1016, 16, /*warp=*/2);  // 8 B past the arena
+  Violation v = TakeSingle(ViolationCode::kScratchpadOutOfBounds);
+  EXPECT_NE(v.message.find("overruns the 1024 B arena by 8 B"),
+            std::string::npos)
+      << v.message;
+}
+
+TEST_F(SanitizerTest, OversubscribedArenaIsReported) {
+  ScratchpadShadow shadow(dev_->sanitizer(), hw_.gpu.scratchpad_bytes + 16,
+                          hw_.gpu.scratchpad_bytes);
+  Violation v = TakeSingle(ViolationCode::kScratchpadOutOfBounds);
+  EXPECT_NE(v.message.find("exceeds the"), std::string::npos) << v.message;
+}
+
+// --- Negative: warp racecheck ---
+
+TEST_F(SanitizerTest, CrossWarpRaceIsReported) {
+  ScratchpadShadow shadow(dev_->sanitizer(), 1024, hw_.gpu.scratchpad_bytes);
+  shadow.Store(128, 8, /*warp=*/1);
+  shadow.Store(128, 8, /*warp=*/5);  // same word, no sync in between
+  Violation v = TakeSingle(ViolationCode::kScratchpadRace);
+  EXPECT_EQ(v.warp, 5u);
+  EXPECT_NE(v.message.find("warps 1 and 5"), std::string::npos) << v.message;
+}
+
+TEST_F(SanitizerTest, SyncRangeClearsTheRaceWindow) {
+  ScratchpadShadow shadow(dev_->sanitizer(), 1024, hw_.gpu.scratchpad_bytes);
+  shadow.Store(128, 8, /*warp=*/1);
+  shadow.SyncRange(128, 8);
+  shadow.Store(128, 8, /*warp=*/5);  // now an ordinary handover
+  EXPECT_TRUE(dev_->sanitizer()->CheckOk().ok());
+}
+
+// --- Negative: SWWC lock protocol ---
+
+TEST_F(SanitizerTest, FlushByNonHolderIsReported) {
+  ScratchpadShadow shadow(dev_->sanitizer(), 1024, hw_.gpu.scratchpad_bytes);
+  shadow.AcquireLock(/*lock=*/7, /*warp=*/2);
+  shadow.NoteFlush(/*lock=*/7, /*warp=*/4);  // warp 4 does not hold lock 7
+  shadow.ReleaseLock(/*lock=*/7, /*warp=*/2);
+  Violation v = TakeSingle(ViolationCode::kLockProtocol);
+  EXPECT_NE(v.message.find("flushed by a warp that does not hold"),
+            std::string::npos)
+      << v.message;
+}
+
+TEST_F(SanitizerTest, DoubleAcquireIsReported) {
+  ScratchpadShadow shadow(dev_->sanitizer(), 1024, hw_.gpu.scratchpad_bytes);
+  shadow.AcquireLock(3, /*warp=*/1);
+  shadow.AcquireLock(3, /*warp=*/1);
+  shadow.ReleaseLock(3, /*warp=*/1);
+  Violation v = TakeSingle(ViolationCode::kLockProtocol);
+  EXPECT_NE(v.message.find("re-acquired"), std::string::npos) << v.message;
+}
+
+// --- Negative: launch counter lint ---
+
+TEST_F(SanitizerTest, TupleCountMismatchIsReported) {
+  dev_->Launch({.name = "short"}, [&](exec::KernelContext& ctx) {
+    ctx.ExpectTuples(100, sizeof(Tuple));
+    ctx.AddTuples(50);  // dropped half the input
+    ctx.Charge(1);
+  });
+  std::vector<Violation> vs = dev_->sanitizer()->TakeViolations();
+  ASSERT_FALSE(vs.empty());
+  EXPECT_EQ(vs.front().code, ViolationCode::kCounterInvariant);
+  EXPECT_NE(vs.front().message.find("processed 50 tuples, expected 100"),
+            std::string::npos)
+      << vs.front().message;
+}
+
+TEST_F(SanitizerTest, ZeroIssueSlotsIsReported) {
+  dev_->Launch({.name = "freebie"}, [&](exec::KernelContext& ctx) {
+    ctx.ExpectTuples(10, 0);
+    ctx.AddTuples(10);  // work with no compute charged
+  });
+  Violation v = TakeSingle(ViolationCode::kCounterInvariant);
+  EXPECT_NE(v.message.find("zero issue slots"), std::string::npos)
+      << v.message;
+}
+
+// --- Clean runs: the instrumented partitioners across the fanout range ---
+
+class CleanRunTest : public ::testing::TestWithParam<uint32_t> {};
+
+PartitionRun PartitionCleanly(partition::GpuPartitioner& algo,
+                              uint32_t bits, uint64_t n) {
+  sim::HwSpec hw = sim::HwSpec::Ac922NvLink().Scaled(64);
+  exec::Device dev(hw, /*sanitize=*/true);
+  data::WorkloadConfig cfg;
+  cfg.r_tuples = n;
+  cfg.s_tuples = n;
+  auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+  CHECK_OK(wl.status());
+  ColumnInput input = ColumnInput::Of(wl->r);
+  RadixConfig radix{0, bits};
+  PartitionLayout layout = partition::CpuPrefixSum(dev, input, radix, 8);
+  auto out = dev.allocator().AllocateCpu(layout.padded_tuples() *
+                                         sizeof(Tuple));
+  CHECK_OK(out.status());
+  PartitionRun run = algo.PartitionColumns(dev, input, layout, *out, {});
+  // Consume findings before teardown (Device CHECK-fails on leftovers) so
+  // a violation surfaces as a test failure with its message instead.
+  std::vector<Violation> vs = dev.sanitizer()->TakeViolations();
+  EXPECT_TRUE(vs.empty()) << vs.size() << " violation(s), first: "
+                          << vs.front().message;
+  return run;
+}
+
+TEST_P(CleanRunTest, SharedGpuStaysQuiet) {
+  partition::SharedPartitioner shared;
+  PartitionCleanly(shared, GetParam(), 100000);
+}
+
+TEST_P(CleanRunTest, HierarchicalGpuStaysQuiet) {
+  partition::HierarchicalPartitioner hierarchical;
+  PartitionCleanly(hierarchical, GetParam(), 100000);
+}
+
+// Fanouts 4, 512, 2048: bits 2 / 9 / 11 (the Figure 18 sweep endpoints and
+// the knee where SwwcBufferTuples drops to 2 tuples per buffer).
+INSTANTIATE_TEST_SUITE_P(Fanouts, CleanRunTest,
+                         ::testing::Values(2u, 9u, 11u),
+                         [](const auto& info) {
+                           return "fanout" +
+                                  std::to_string(1u << info.param);
+                         });
+
+// --- Figure 18b regression: tuples per write transaction ---
+
+TEST(Figure18bRegression, SharedTuplesPerTransactionAtLowFanout) {
+  // Fanout 4: 1024-tuple buffers flush as full 128 B transactions carrying
+  // 8 tuples each; only per-slice tail flushes fall short.
+  partition::SharedPartitioner shared;
+  PartitionRun run = PartitionCleanly(shared, /*bits=*/2, 100000);
+  EXPECT_GE(run.TuplesPerWriteTxn(), 7.0) << run.TuplesPerWriteTxn();
+  EXPECT_LE(run.TuplesPerWriteTxn(), 8.05) << run.TuplesPerWriteTxn();
+}
+
+TEST(Figure18bRegression, SharedTuplesPerTransactionAtFanout2048) {
+  // Fanout 2048: SwwcBufferTuples caps the buffer at 2 tuples (32 B), so
+  // every flush underfills the 128 B transaction — the write-combining
+  // collapse of Figure 18b.
+  partition::SharedPartitioner shared;
+  PartitionRun run = PartitionCleanly(shared, /*bits=*/11, 100000);
+  EXPECT_GE(run.TuplesPerWriteTxn(), 1.4) << run.TuplesPerWriteTxn();
+  EXPECT_LE(run.TuplesPerWriteTxn(), 2.05) << run.TuplesPerWriteTxn();
+}
+
+}  // namespace
+}  // namespace triton::sanitizer

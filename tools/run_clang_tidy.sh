@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the simulator sources using the compile database the
+# CMake configure step exports (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+# Exits 0 with a notice when clang-tidy is not installed so that local
+# developer machines and minimal containers are not blocked; CI installs
+# clang-tidy and gets the real report.
+set -u
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (install it" \
+       "or rely on the CI clang-tidy job)."
+  exit 0
+fi
+
+if [ ! -f "$ROOT/$BUILD_DIR/compile_commands.json" ] &&
+   [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json under '$BUILD_DIR';" \
+       "configure first: cmake -B $BUILD_DIR -S ."
+  exit 1
+fi
+
+# Resolve the build dir relative to the repo root if needed.
+if [ -f "$ROOT/$BUILD_DIR/compile_commands.json" ]; then
+  BUILD_DIR="$ROOT/$BUILD_DIR"
+fi
+
+cd "$ROOT"
+FILES=$(find src -name '*.cc' | sort)
+echo "run_clang_tidy: checking $(echo "$FILES" | wc -l) files against" \
+     "$BUILD_DIR/compile_commands.json"
+
+STATUS=0
+for f in $FILES; do
+  clang-tidy -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+exit $STATUS
