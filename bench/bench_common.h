@@ -9,7 +9,9 @@
 // factor), so G Tuples/s values are directly comparable to the paper's.
 //
 // Common flags: --scale=N, --runs=N (repetitions; the paper uses 10),
-// --csv (emit CSV after the table), --quick (coarser sweeps).
+// --csv (emit CSV after the table), --quick (coarser sweeps), --threads=N
+// (host worker threads simulating thread blocks; 0 = TRITON_THREADS env or
+// hardware concurrency — results are bit-identical at any setting).
 
 #ifndef TRITON_BENCH_BENCH_COMMON_H_
 #define TRITON_BENCH_BENCH_COMMON_H_
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "data/generator.h"
+#include "exec/block_executor.h"
 #include "exec/device.h"
 #include "sim/hw_spec.h"
 #include "util/flags.h"
@@ -39,10 +42,13 @@ class BenchEnv {
         csv_(flags_.GetBool("csv", false)),
         quick_(flags_.GetBool("quick", false)),
         hw_(sim::HwSpec::Ac922NvLink().Scaled(static_cast<double>(scale_))) {
+    exec::BlockExecutor::Global().SetThreads(
+        static_cast<uint32_t>(flags_.GetInt("threads", 0)));
     std::printf("=== %s: %s ===\n", figure, title);
-    std::printf("machine: %s | scale 1/%lld | runs %lld\n", hw_.name.c_str(),
-                static_cast<long long>(scale_),
-                static_cast<long long>(runs_));
+    std::printf("machine: %s | scale 1/%lld | runs %lld | threads %u\n",
+                hw_.name.c_str(), static_cast<long long>(scale_),
+                static_cast<long long>(runs_),
+                exec::BlockExecutor::Global().threads());
   }
 
   const util::Flags& flags() const { return flags_; }

@@ -94,7 +94,6 @@ util::StatusOr<AggregateRun> TritonAggregate::Run(exec::Device& dev,
   // --- Second pass + scratchpad aggregation per partition ---
   partition::SharedPartitioner pass2;
   constexpr uint32_t kBuckets = hash::BucketChainTable::kDefaultBuckets;
-  std::vector<uint32_t> heads(kBuckets);
   uint64_t groups = 0, checksum = 0;
 
   for (uint32_t p = 0; p < radix1.fanout(); ++p) {
@@ -114,20 +113,26 @@ util::StatusOr<AggregateRun> TritonAggregate::Run(exec::Device& dev,
 
     dev.Launch({.name = "aggregate"}, [&](exec::KernelContext& ctx) {
       const partition::Tuple* data = refined->as<partition::Tuple>();
-      for (uint32_t q = 0; q < radix2.fanout(); ++q) {
+      // One refined partition per thread block; per-block group counts and
+      // checksums reduce in partition order after the fan-out.
+      const uint32_t fan2 = radix2.fanout();
+      std::vector<uint64_t> block_groups(fan2, 0);
+      std::vector<uint64_t> block_checksums(fan2, 0);
+      ctx.ForEachBlock(fan2, [&](exec::KernelContext& sub, uint32_t q) {
         uint64_t part_n = layout2.PartitionSize(q);
-        if (part_n == 0) continue;
+        if (part_n == 0) return;
+        sub.SetSanitizerBlock(q);
         // Scratchpad hash aggregation: accumulate sums per key. The table
         // is rebuilt per partition; oversized partitions (heavy key
         // duplication) chunk gracefully since groups <= distinct keys.
+        std::vector<uint32_t> heads(kBuckets, 0);
         std::vector<int64_t> keys(part_n), sums(part_n);
         std::vector<uint32_t> next(part_n);
-        std::fill(heads.begin(), heads.end(), 0u);
         hash::BucketChainTable table(heads.data(), kBuckets, keys.data(),
                                      sums.data(), next.data(),
                                      static_cast<uint32_t>(part_n));
         layout2.ForEachSlice(q, [&](uint64_t begin, uint64_t count) {
-          ctx.ReadSeq(*refined, begin * sizeof(partition::Tuple),
+          sub.ReadSeq(*refined, begin * sizeof(partition::Tuple),
                       count * sizeof(partition::Tuple));
           const uint32_t shift = bits1 + bits2;
           for (uint64_t i = begin; i < begin + count; ++i) {
@@ -139,20 +144,24 @@ util::StatusOr<AggregateRun> TritonAggregate::Run(exec::Device& dev,
             }
           }
         });
-        ctx.Charge(static_cast<uint64_t>(part_n * kAggregateCyclesPerTuple));
-        ctx.AddTuples(part_n);
-        groups += table.size();
+        sub.Charge(static_cast<uint64_t>(part_n * kAggregateCyclesPerTuple));
+        sub.AddTuples(part_n);
+        block_groups[q] = table.size();
         if (!config_.distinct_only) {
           for (uint32_t e = 0; e < table.size(); ++e) {
-            checksum += static_cast<uint64_t>(keys[e]) * 31 +
-                        static_cast<uint64_t>(sums[e]);
+            block_checksums[q] += static_cast<uint64_t>(keys[e]) * 31 +
+                                  static_cast<uint64_t>(sums[e]);
           }
           // Grouped results stream back to CPU memory.
         } else {
           for (uint32_t e = 0; e < table.size(); ++e) {
-            checksum += static_cast<uint64_t>(keys[e]);
+            block_checksums[q] += static_cast<uint64_t>(keys[e]);
           }
         }
+      });
+      for (uint32_t q = 0; q < fan2; ++q) {
+        groups += block_groups[q];
+        checksum += block_checksums[q];
       }
     });
     dev.allocator().Free(*refined);

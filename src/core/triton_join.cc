@@ -139,7 +139,6 @@ util::StatusOr<join::JoinRun> TritonJoin::Run(exec::Device& dev,
   // concurrent kernels share the GPU's issue slots, so summing compute
   // across lanes at the full-SM rate models two half-GPU kernels running
   // simultaneously.
-  join::ScratchJoiner joiner(config_.scheme, hw.gpu.scratchpad_bytes);
   const uint32_t pipe_sms = sms;
   uint64_t matches = 0, checksum = 0, result_cursor = 0;
   double pipe_bw = 0.0;      // interconnect/TLB/CPU-memory lane
@@ -179,19 +178,34 @@ util::StatusOr<join::JoinRun> TritonJoin::Run(exec::Device& dev,
       dev.Launch(
           {.name = "prefix_sum2", .sms = pipe_sms},
           [&](exec::KernelContext& ctx) {
-            rows.AccountRead(ctx, 0, rows.size());
-            auto histograms =
-                partition::ComputeHistograms(rows, radix2, blocks);
+            const uint64_t n = rows.size();
+            // The scan accounting stays on the launch context (one pass over
+            // the pair); the histogram work fans out over the executor.
+            rows.AccountRead(ctx, 0, n);
+            const uint64_t chunk = (n + blocks - 1) / blocks;
+            std::vector<std::vector<uint64_t>> histograms(
+                blocks, std::vector<uint64_t>(radix2.fanout(), 0));
+            ctx.ForEachBlock(
+                blocks, [&](exec::KernelContext& sub, uint32_t b) {
+                  uint64_t begin = static_cast<uint64_t>(b) * chunk;
+                  uint64_t end = std::min(n, begin + chunk);
+                  if (begin >= end) return;
+                  sub.SetSanitizerBlock(b);
+                  // Per-block copy: sliced inputs cache a cursor in Get().
+                  partition::SlicedRowInput block_rows = rows;
+                  partition::ComputeBlockHistogram(block_rows, radix2, begin,
+                                                   end, histograms[b]);
+                });
             layout = partition::PartitionLayout(radix2, histograms, 8);
-            ctx.AddTuples(rows.size());
+            ctx.AddTuples(n);
             ctx.Charge(static_cast<uint64_t>(
-                rows.size() * partition::kPrefixSumCyclesPerTuple));
+                n * partition::kPrefixSumCyclesPerTuple));
             if (stage_pairs) {
-              for (uint64_t i = 0; i < rows.size(); ++i) {
+              for (uint64_t i = 0; i < n; ++i) {
                 ctx.Store(staging, stage_offset + i, rows.Get(i));
               }
               ctx.WriteSeq(staging, stage_offset * sizeof(partition::Tuple),
-                           rows.size() * sizeof(partition::Tuple));
+                           n * sizeof(partition::Tuple));
             }
           });
       return layout;
@@ -228,11 +242,58 @@ util::StatusOr<join::JoinRun> TritonJoin::Run(exec::Device& dev,
 
     dev.Launch({.name = "join", .sms = pipe_sms},
                [&](exec::KernelContext& ctx) {
-                 for (uint32_t q = 0; q < radix2.fanout(); ++q) {
-                   joiner.JoinPartition(
-                       ctx, *r2, r_layout2, *s2, s_layout2, q, bits1 + bits2,
-                       result.valid() ? &result : nullptr, &result_cursor,
-                       &matches, &checksum);
+                 // Each refined pair is one thread block: build/probe runs
+                 // concurrently per partition, matches are staged per block
+                 // and materialized in partition order afterwards so result
+                 // contents and accounting are independent of thread count.
+                 const uint32_t fan2 = radix2.fanout();
+                 struct BlockOut {
+                   std::vector<partition::Tuple> pairs;
+                   uint64_t matches = 0;
+                   uint64_t checksum = 0;
+                 };
+                 std::vector<BlockOut> outs(fan2);
+                 ctx.ForEachBlock(
+                     fan2, [&](exec::KernelContext& sub, uint32_t q) {
+                       sub.SetSanitizerBlock(q);
+                       std::vector<std::pair<uint64_t, uint64_t>> r_sl, s_sl;
+                       r_layout2.ForEachSlice(
+                           q, [&](uint64_t b, uint64_t c) {
+                             r_sl.emplace_back(b, c);
+                           });
+                       s_layout2.ForEachSlice(
+                           q, [&](uint64_t b, uint64_t c) {
+                             s_sl.emplace_back(b, c);
+                           });
+                       join::ScratchJoiner block_joiner(
+                           config_.scheme, hw.gpu.scratchpad_bytes);
+                       BlockOut& out = outs[q];
+                       block_joiner.JoinSlicesEmit(
+                           sub, *r2, r_sl, *s2, s_sl, bits1 + bits2,
+                           [&](int64_t build_val, int64_t probe_val) {
+                             if (result.valid()) {
+                               out.pairs.push_back(
+                                   partition::Tuple{build_val, probe_val});
+                             }
+                             ++out.matches;
+                             out.checksum +=
+                                 static_cast<uint64_t>(build_val) +
+                                 static_cast<uint64_t>(probe_val);
+                           });
+                     });
+                 for (uint32_t q = 0; q < fan2; ++q) {
+                   BlockOut& out = outs[q];
+                   matches += out.matches;
+                   checksum += out.checksum;
+                   if (!out.pairs.empty()) {
+                     uint64_t at = result_cursor;
+                     for (const partition::Tuple& t : out.pairs) {
+                       ctx.Store(result, result_cursor++, t);
+                     }
+                     ctx.WriteSeq(result, at * sizeof(partition::Tuple),
+                                  out.pairs.size() *
+                                      sizeof(partition::Tuple));
+                   }
                  }
                });
 

@@ -1,0 +1,139 @@
+#include "exec/block_executor.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace triton::exec {
+
+namespace {
+
+uint32_t DefaultThreads() {
+  const char* env = std::getenv("TRITON_THREADS");
+  if (env != nullptr && env[0] != '\0') {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<uint32_t>(v);
+  }
+  uint32_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+BlockExecutor& BlockExecutor::Global() {
+  static BlockExecutor* executor = new BlockExecutor();
+  return *executor;
+}
+
+BlockExecutor::BlockExecutor() { SetThreads(0); }
+
+BlockExecutor::~BlockExecutor() { StopWorkers(); }
+
+void BlockExecutor::SetThreads(uint32_t threads) {
+  if (threads == 0) threads = DefaultThreads();
+  if (threads == threads_ &&
+      (threads == 1 || workers_.size() == threads - 1)) {
+    return;
+  }
+  StopWorkers();
+  threads_ = threads;
+  // The calling thread participates in Run, so the pool holds one fewer
+  // worker than the requested parallelism.
+  if (threads_ > 1) StartWorkers(threads_ - 1);
+}
+
+void BlockExecutor::StartWorkers(uint32_t workers) {
+  shutdown_ = false;
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void BlockExecutor::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+std::pair<uint32_t, std::exception_ptr> BlockExecutor::DrainBatch(
+    const std::function<void(uint32_t)>& fn, uint32_t num_blocks) {
+  uint32_t done = 0;
+  std::exception_ptr error;
+  while (true) {
+    uint32_t b = next_block_.fetch_add(1, std::memory_order_relaxed);
+    if (b >= num_blocks) break;
+    try {
+      fn(b);
+    } catch (...) {
+      if (error == nullptr) error = std::current_exception();
+    }
+    ++done;
+  }
+  return {done, error};
+}
+
+void BlockExecutor::WorkerLoop() {
+  uint64_t seen_batch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || batch_id_ != seen_batch; });
+    if (shutdown_) return;
+    seen_batch = batch_id_;
+    if (batch_fn_ == nullptr) continue;  // batch already fully reduced
+    const std::function<void(uint32_t)>* fn = batch_fn_;
+    const uint32_t num_blocks = batch_blocks_;
+    ++active_workers_;
+    lock.unlock();
+    auto [done, error] = DrainBatch(*fn, num_blocks);
+    lock.lock();
+    --active_workers_;
+    blocks_done_ += done;
+    if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+    if (active_workers_ == 0 && blocks_done_ == batch_blocks_) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void BlockExecutor::Run(uint32_t num_blocks,
+                        const std::function<void(uint32_t)>& fn) {
+  if (num_blocks == 0) return;
+  if (threads_ == 1 || num_blocks == 1 || workers_.empty()) {
+    for (uint32_t b = 0; b < num_blocks; ++b) fn(b);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CHECK(batch_fn_ == nullptr) << "BlockExecutor::Run is not reentrant";
+    batch_fn_ = &fn;
+    batch_blocks_ = num_blocks;
+    blocks_done_ = 0;
+    first_error_ = nullptr;
+    next_block_.store(0, std::memory_order_relaxed);
+    ++batch_id_;
+  }
+  work_cv_.notify_all();
+  auto [done, error] = DrainBatch(fn, num_blocks);
+  std::exception_ptr batch_error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    blocks_done_ += done;
+    if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+    done_cv_.wait(lock, [&] {
+      return blocks_done_ == batch_blocks_ && active_workers_ == 0;
+    });
+    batch_fn_ = nullptr;
+    batch_blocks_ = 0;
+    batch_error = std::exchange(first_error_, nullptr);
+  }
+  if (batch_error != nullptr) std::rethrow_exception(batch_error);
+}
+
+}  // namespace triton::exec

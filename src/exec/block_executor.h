@@ -1,0 +1,89 @@
+// Host-side thread pool that runs simulated thread blocks concurrently.
+//
+// Every kernel in this codebase decomposes into independent thread blocks
+// (one input chunk and one output slice set per block); the executor maps
+// those blocks onto persistent host worker threads. Determinism is the
+// contract: blocks may run in any order on any thread, so they must touch
+// only per-block state (KernelContext::ForEachBlock hands each block a
+// private sub-context whose shared-device effects — TLB replay, sanitizer
+// shadow state, counters — are reduced in block order afterwards).
+//
+// The pool size comes from, in decreasing precedence: SetThreads() (the
+// --threads bench flag), the TRITON_THREADS environment variable, and
+// std::thread::hardware_concurrency(). One thread means inline serial
+// execution with zero synchronization.
+
+#ifndef TRITON_EXEC_BLOCK_EXECUTOR_H_
+#define TRITON_EXEC_BLOCK_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace triton::exec {
+
+/// Persistent worker pool; see file comment.
+class BlockExecutor {
+ public:
+  /// The process-wide executor used by KernelContext::ForEachBlock.
+  static BlockExecutor& Global();
+
+  BlockExecutor();
+  ~BlockExecutor();
+
+  BlockExecutor(const BlockExecutor&) = delete;
+  BlockExecutor& operator=(const BlockExecutor&) = delete;
+
+  /// Resizes the pool to `threads` workers (0 restores the environment /
+  /// hardware default). Must not be called while Run is active.
+  void SetThreads(uint32_t threads);
+
+  /// Current pool size (>= 1; includes the calling thread).
+  uint32_t threads() const { return threads_; }
+
+  /// Runs fn(b) for every b in [0, num_blocks). Blocks are claimed from an
+  /// atomic counter, so assignment to threads is nondeterministic — fn must
+  /// only touch per-block state. Returns when all blocks finished; the
+  /// calling thread participates. The first exception thrown by any block
+  /// is rethrown here after all workers have drained.
+  void Run(uint32_t num_blocks, const std::function<void(uint32_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs blocks of one batch; returns (blocks run, first
+  /// exception).
+  std::pair<uint32_t, std::exception_ptr> DrainBatch(
+      const std::function<void(uint32_t)>& fn, uint32_t num_blocks);
+  void StopWorkers();
+  void StartWorkers(uint32_t workers);
+
+  uint32_t threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  // All fields below are guarded by mu_ except next_block_ (atomic claim
+  // counter, reset under mu_ between batches).
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  /// Incremented per Run() batch; workers wake when it changes.
+  uint64_t batch_id_ = 0;
+  uint32_t batch_blocks_ = 0;
+  const std::function<void(uint32_t)>* batch_fn_ = nullptr;
+  std::atomic<uint32_t> next_block_{0};
+  uint32_t blocks_done_ = 0;
+  /// Workers currently inside DrainBatch; Run waits for zero so a straggler
+  /// cannot leak into the next batch's claim counter.
+  uint32_t active_workers_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace triton::exec
+
+#endif  // TRITON_EXEC_BLOCK_EXECUTOR_H_

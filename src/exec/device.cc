@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/block_executor.h"
 #include "util/logging.h"
 
 namespace triton::exec {
@@ -47,9 +48,94 @@ void KernelContext::Account(uint64_t addr, uint64_t size,
     }
   }
   if (is_random && replay_tlb) {
-    auto tr = device_->tlb_.Access(addr, loc, &counters_);
+    SharedTlbAccess(addr, loc, /*with_latency=*/true);
+  }
+}
+
+void KernelContext::SharedTlbAccess(uint64_t addr, sim::PageLocation loc,
+                                    bool with_latency) {
+  if (defer_tlb_) {
+    tlb_log_.push_back({addr, loc,
+                        with_latency ? TlbReplayKind::kLatency
+                                     : TlbReplayKind::kRange});
+    return;
+  }
+  auto tr = device_->tlb_.Access(addr, loc, &counters_);
+  if (with_latency) {
     random_latency_sum_ += tr.latency;
     ++random_accesses_;
+  }
+}
+
+sim::TranslationResult KernelContext::EscalateMiss(uint64_t addr,
+                                                   sim::PageLocation loc,
+                                                   sim::PerfCounters* counters) {
+  // Only deferred sub-contexts hand themselves out as escalation sinks;
+  // the log replays through TlbSimulator::EscalateMiss at reduction. The
+  // counters pointer is this context's own shard, so the increments can
+  // wait for the replay too. Callers discard the result (see
+  // TlbEscalationSink).
+  DCHECK(defer_tlb_);
+  DCHECK_EQ(counters, &counters_);
+  (void)counters;
+  tlb_log_.push_back({addr, loc, TlbReplayKind::kEscalation});
+  return sim::TranslationResult{};
+}
+
+sim::TlbEscalationSink* KernelContext::escalation_sink() {
+  if (defer_tlb_) return this;
+  return &device_->tlb_;
+}
+
+void KernelContext::ReplayDeferredLog() {
+  for (const auto& e : tlb_log_) {
+    switch (e.kind) {
+      case TlbReplayKind::kRange:
+        device_->tlb_.Access(e.addr, e.loc, &counters_);
+        break;
+      case TlbReplayKind::kLatency: {
+        auto tr = device_->tlb_.Access(e.addr, e.loc, &counters_);
+        random_latency_sum_ += tr.latency;
+        ++random_accesses_;
+        break;
+      }
+      case TlbReplayKind::kEscalation:
+        device_->tlb_.EscalateMiss(e.addr, e.loc, &counters_);
+        break;
+    }
+  }
+  tlb_log_.clear();
+}
+
+void KernelContext::ForEachBlock(
+    uint32_t num_blocks,
+    const std::function<void(KernelContext&, uint32_t)>& body) {
+  CHECK(!defer_tlb_) << "ForEachBlock cannot nest inside a block";
+  std::vector<std::unique_ptr<KernelContext>> subs;
+  subs.reserve(num_blocks);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    auto sub = std::make_unique<KernelContext>(device_, config_);
+    sub->defer_tlb_ = true;
+    if (san_ != nullptr) {
+      sub->san_fork_ = san_->Fork();
+      sub->san_ = sub->san_fork_.get();
+    }
+    subs.push_back(std::move(sub));
+  }
+  BlockExecutor::Global().Run(num_blocks,
+                              [&](uint32_t b) { body(*subs[b], b); });
+  // Deterministic reduction: replay each block's shared-TLB log and merge
+  // its counter shard and sanitizer state, strictly in block order. This is
+  // the only place shared TLB state advances for these blocks, and the
+  // replay order equals the serial execution order, so every counter and
+  // latency is bit-identical to a single-threaded run.
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    KernelContext& sub = *subs[b];
+    sub.ReplayDeferredLog();
+    counters_.Merge(sub.counters_);
+    random_latency_sum_ += sub.random_latency_sum_;
+    random_accesses_ += sub.random_accesses_;
+    if (san_ != nullptr) san_->MergeBlock(*sub.san_fork_);
   }
 }
 
@@ -77,7 +163,7 @@ void KernelContext::ReadSeq(const mem::Buffer& buf, uint64_t offset,
     // One translation per entry range touched by the run.
     for (uint64_t r = (buf.base_addr() + pos) / range;
          r <= (buf.base_addr() + run_end - 1) / range; ++r) {
-      device_->tlb_.Access(r * range, loc, &counters_);
+      SharedTlbAccess(r * range, loc, /*with_latency=*/false);
     }
     pos = run_end;
   }
@@ -103,7 +189,7 @@ void KernelContext::WriteSeq(const mem::Buffer& buf, uint64_t offset,
             /*is_random=*/false);
     for (uint64_t r = (buf.base_addr() + pos) / range;
          r <= (buf.base_addr() + run_end - 1) / range; ++r) {
-      device_->tlb_.Access(r * range, loc, &counters_);
+      SharedTlbAccess(r * range, loc, /*with_latency=*/false);
     }
     pos = run_end;
   }
@@ -137,12 +223,12 @@ void KernelContext::Flush(const mem::Buffer& buf, uint64_t offset,
           /*replay_tlb=*/false);
   // ...but replay the TLB once per translation range touched: a flush that
   // straddles a range boundary needs both translations, which the plain
-  // WriteRand path (one replay at the start address) under-counts.
+  // WriteRand path (one replay at the start address) under-counts. Inside
+  // ForEachBlock the replay is deferred to the block-ordered reduction, so
+  // a flush never mutates shared TLB state mid-kernel.
   const uint64_t range = device_->hw_.tlb.l2_entry_range;
   for (uint64_t r = addr / range; r <= (addr + size - 1) / range; ++r) {
-    auto tr = device_->tlb_.Access(r * range, loc, &counters_);
-    random_latency_sum_ += tr.latency;
-    ++random_accesses_;
+    SharedTlbAccess(r * range, loc, /*with_latency=*/true);
   }
 }
 

@@ -8,6 +8,17 @@
 // execution: it flushes the GPU TLB (the CUDA runtime does this on every
 // launch), runs the kernel, evaluates the cost model, and appends a
 // KernelRecord to the device trace used by the time-breakdown figures.
+//
+// Execution model: kernels decompose into independent thread blocks and run
+// them through KernelContext::ForEachBlock, which executes blocks on the
+// process-wide exec::BlockExecutor worker pool. Each block receives a
+// private sub-context that shards the counters, defers every shared-TLB
+// access into a replay log, and forks the sanitizer's shadow state; at the
+// end of ForEachBlock the logs are replayed through the shared
+// sim::TlbSimulator and all shards merged *in block order*, so results,
+// counters and violation provenance are bit-identical for any thread count
+// (the serial path uses the same code). Shared device state (TLB,
+// allocator, trace) must never be mutated while blocks are in flight.
 
 #ifndef TRITON_EXEC_DEVICE_H_
 #define TRITON_EXEC_DEVICE_H_
@@ -62,9 +73,27 @@ struct KernelRecord {
 /// these methods to account the corresponding simulated traffic. Sequential
 /// bulk traffic should use the *Seq methods (O(pages) accounting); per-tuple
 /// random accesses use the *Rand methods (one TLB replay each).
-class KernelContext {
+class KernelContext : private sim::TlbEscalationSink {
  public:
   KernelContext(Device* device, const KernelConfig& config);
+
+  // --- Parallel block execution ---
+
+  /// Runs body(sub, b) for every block b in [0, num_blocks) on the global
+  /// exec::BlockExecutor. Each block gets a private sub-context (sharded
+  /// counters, deferred shared-TLB log, forked sanitizer state); when all
+  /// blocks finish, the shards are reduced into this context strictly in
+  /// block order, which makes counters and sanitizer provenance
+  /// bit-identical to serial execution for any thread count. The body must
+  /// route all accounting through its sub-context and must not touch the
+  /// Device's allocator, trace, or shared TLB.
+  void ForEachBlock(uint32_t num_blocks,
+                    const std::function<void(KernelContext&, uint32_t)>& body);
+
+  /// Escalation target for block-local TLBs (sim::BlockTlb): inside a
+  /// ForEachBlock sub-context this logs the miss for ordered replay at
+  /// reduction; on a top-level context it is the shared device TLB.
+  sim::TlbEscalationSink* escalation_sink();
 
   // --- Sequential (streamed, perfectly coalesced) traffic ---
 
@@ -186,6 +215,21 @@ class KernelContext {
  private:
   friend class Device;
 
+  /// One deferred shared-TLB access, replayed in block order at reduction.
+  enum class TlbReplayKind : uint8_t {
+    /// Sequential range translation (ReadSeq/WriteSeq); latency discarded.
+    kRange,
+    /// Random access or flush replay; latency accumulated at replay.
+    kLatency,
+    /// Full miss escalated by a block-local sim::BlockTlb.
+    kEscalation,
+  };
+  struct TlbReplayEntry {
+    uint64_t addr;
+    sim::PageLocation loc;
+    TlbReplayKind kind;
+  };
+
   /// Routes one access of `size` bytes at absolute address `addr` located
   /// in `loc`. `replay_tlb` controls whether this access replays a device
   /// L2 TLB lookup (random accesses through the public Read/Write methods
@@ -193,12 +237,32 @@ class KernelContext {
   void Account(uint64_t addr, uint64_t size, sim::PageLocation loc,
                bool is_write, bool is_random, bool replay_tlb = true);
 
+  /// Performs (or, in a deferred sub-context, logs) one shared-TLB access.
+  /// `with_latency` accumulates the outcome latency into the random-access
+  /// sums (random accesses and flushes do; sequential walks do not).
+  void SharedTlbAccess(uint64_t addr, sim::PageLocation loc,
+                       bool with_latency);
+
+  /// sim::TlbEscalationSink: logs a block-local TLB miss for ordered
+  /// replay. Only reachable on deferred sub-contexts via escalation_sink().
+  sim::TranslationResult EscalateMiss(uint64_t addr, sim::PageLocation loc,
+                                      sim::PerfCounters* counters) override;
+
+  /// Replays this sub-context's deferred log through the shared device TLB
+  /// (called by the parent during the block-ordered reduction).
+  void ReplayDeferredLog();
+
   Device* device_;
   KernelConfig config_;
   sanitizer::DeviceSanitizer* san_ = nullptr;
   sim::PerfCounters counters_;
   double random_latency_sum_ = 0.0;
   uint64_t random_accesses_ = 0;
+  /// True on ForEachBlock sub-contexts: shared-TLB accesses go to the log.
+  bool defer_tlb_ = false;
+  std::vector<TlbReplayEntry> tlb_log_;
+  /// Owned sanitizer fork backing san_ on sub-contexts.
+  std::unique_ptr<sanitizer::DeviceSanitizer> san_fork_;
 };
 
 /// The simulated GPU.

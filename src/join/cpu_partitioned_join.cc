@@ -154,13 +154,50 @@ util::StatusOr<JoinRun> CpuPartitionedJoin::Run(exec::Device& dev,
     gpu_partitioner.PartitionRows(dev, r_rows, r_layout2, *r2, popts);
     gpu_partitioner.PartitionRows(dev, s_rows, s_layout2, *s2, popts);
 
-    // --- Join the refined pairs ---
+    // --- Join the refined pairs (one thread block per pair; matches are
+    // staged per block and materialized in partition order, so results and
+    // accounting are independent of the executor's thread count) ---
     dev.Launch({.name = "join"}, [&](exec::KernelContext& ctx) {
-      for (uint32_t q = 0; q < radix2.fanout(); ++q) {
-        joiner.JoinPartition(ctx, *r2, r_layout2, *s2, s_layout2, q,
-                             bits1 + bits2,
-                             result.valid() ? &result : nullptr,
-                             &result_cursor, &matches, &checksum);
+      const uint32_t fan2 = radix2.fanout();
+      struct BlockOut {
+        std::vector<partition::Tuple> pairs;
+        uint64_t matches = 0;
+        uint64_t checksum = 0;
+      };
+      std::vector<BlockOut> outs(fan2);
+      ctx.ForEachBlock(fan2, [&](exec::KernelContext& sub, uint32_t q) {
+        sub.SetSanitizerBlock(q);
+        std::vector<std::pair<uint64_t, uint64_t>> r_sl, s_sl;
+        r_layout2.ForEachSlice(
+            q, [&](uint64_t b, uint64_t c) { r_sl.emplace_back(b, c); });
+        s_layout2.ForEachSlice(
+            q, [&](uint64_t b, uint64_t c) { s_sl.emplace_back(b, c); });
+        ScratchJoiner block_joiner(config_.scheme,
+                                   dev.hw().gpu.scratchpad_bytes);
+        BlockOut& out = outs[q];
+        block_joiner.JoinSlicesEmit(
+            sub, *r2, r_sl, *s2, s_sl, bits1 + bits2,
+            [&](int64_t build_val, int64_t probe_val) {
+              if (result.valid()) {
+                out.pairs.push_back(partition::Tuple{build_val, probe_val});
+              }
+              ++out.matches;
+              out.checksum += static_cast<uint64_t>(build_val) +
+                              static_cast<uint64_t>(probe_val);
+            });
+      });
+      for (uint32_t q = 0; q < fan2; ++q) {
+        BlockOut& out = outs[q];
+        matches += out.matches;
+        checksum += out.checksum;
+        if (!out.pairs.empty()) {
+          uint64_t at = result_cursor;
+          for (const partition::Tuple& t : out.pairs) {
+            ctx.Store(result, result_cursor++, t);
+          }
+          ctx.WriteSeq(result, at * sizeof(partition::Tuple),
+                       out.pairs.size() * sizeof(partition::Tuple));
+        }
       }
     });
     dev.allocator().Free(*r2);

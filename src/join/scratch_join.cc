@@ -34,13 +34,13 @@ ScratchJoiner::ScratchJoiner(HashScheme scheme, uint64_t scratchpad_bytes)
   next_.resize(max_build_tuples_);
 }
 
-void ScratchJoiner::JoinSlices(
+void ScratchJoiner::JoinSlicesEmit(
     exec::KernelContext& ctx, const mem::Buffer& r_rows,
     const std::vector<std::pair<uint64_t, uint64_t>>& r_slices,
     const mem::Buffer& s_rows,
     const std::vector<std::pair<uint64_t, uint64_t>>& s_slices,
-    uint32_t radix_shift, mem::Buffer* result, uint64_t* result_cursor,
-    uint64_t* matches, uint64_t* checksum) {
+    uint32_t radix_shift,
+    const std::function<void(int64_t, int64_t)>& emit) {
   const partition::Tuple* r_data = r_rows.as<partition::Tuple>();
   const partition::Tuple* s_data = s_rows.as<partition::Tuple>();
 
@@ -55,7 +55,6 @@ void ScratchJoiner::JoinSlices(
   }
   if (r_total == 0 || s_total == 0) return;
 
-  const uint64_t first_matches = *matches;
   size_t slice_idx = 0;
   uint64_t slice_pos = 0;
   while (slice_idx < r_slices.size()) {
@@ -91,20 +90,34 @@ void ScratchJoiner::JoinSlices(
       for (uint64_t i = begin; i < begin + count; ++i) {
         const partition::Tuple& t = s_data[i];
         table.Probe(t.key, radix_shift, [&](int64_t build_val) {
-          if (result != nullptr) {
-            ctx.Store(*result, *result_cursor,
-                      partition::Tuple{build_val, t.value});
-            ++*result_cursor;
-          }
-          ++*matches;
-          *checksum += static_cast<uint64_t>(build_val) +
-                       static_cast<uint64_t>(t.value);
+          emit(build_val, t.value);
         });
       }
     }
     ctx.Charge(static_cast<uint64_t>(s_total * costs_.probe_cycles));
     ctx.AddTuples(built + s_total);
   }
+}
+
+void ScratchJoiner::JoinSlices(
+    exec::KernelContext& ctx, const mem::Buffer& r_rows,
+    const std::vector<std::pair<uint64_t, uint64_t>>& r_slices,
+    const mem::Buffer& s_rows,
+    const std::vector<std::pair<uint64_t, uint64_t>>& s_slices,
+    uint32_t radix_shift, mem::Buffer* result, uint64_t* result_cursor,
+    uint64_t* matches, uint64_t* checksum) {
+  const uint64_t first_matches = *matches;
+  JoinSlicesEmit(ctx, r_rows, r_slices, s_rows, s_slices, radix_shift,
+                 [&](int64_t build_val, int64_t probe_val) {
+                   if (result != nullptr) {
+                     ctx.Store(*result, *result_cursor,
+                               partition::Tuple{build_val, probe_val});
+                     ++*result_cursor;
+                   }
+                   ++*matches;
+                   *checksum += static_cast<uint64_t>(build_val) +
+                                static_cast<uint64_t>(probe_val);
+                 });
 
   // Materialized matches stream out through coalesced linear-allocator
   // writes.

@@ -12,6 +12,7 @@
 #define TRITON_JOIN_SCRATCH_JOIN_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "exec/device.h"
@@ -65,6 +66,20 @@ class ScratchJoiner {
                   uint32_t radix_shift, mem::Buffer* result,
                   uint64_t* result_cursor, uint64_t* matches,
                   uint64_t* checksum);
+
+  /// Emit-callback core JoinSlices is built on: same chunked build/probe
+  /// accounting (partition reads, build/probe cycles, tuple counts), but
+  /// every match is handed to `emit(build_value, probe_value)` instead of
+  /// being written to a result buffer. Parallel callers stage matches per
+  /// partition and materialize them in partition order afterwards, so
+  /// result writes stay deterministic across thread counts.
+  void JoinSlicesEmit(
+      exec::KernelContext& ctx, const mem::Buffer& r_rows,
+      const std::vector<std::pair<uint64_t, uint64_t>>& r_slices,
+      const mem::Buffer& s_rows,
+      const std::vector<std::pair<uint64_t, uint64_t>>& s_slices,
+      uint32_t radix_shift,
+      const std::function<void(int64_t, int64_t)>& emit);
 
   /// Maximum build tuples the scratchpad table holds alongside the bucket
   /// heads.

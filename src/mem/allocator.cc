@@ -31,11 +31,13 @@ Buffer& Buffer::operator=(Buffer&& other) noexcept {
     size_ = other.size_;
     page_bytes_ = other.page_bytes_;
     gpu_bytes_ = other.gpu_bytes_;
+    sim_addr_ = other.sim_addr_;
     placement_ = other.placement_;
     owner_ = other.owner_;
     other.data_ = nullptr;
     other.size_ = 0;
     other.gpu_bytes_ = 0;
+    other.sim_addr_ = 0;
     other.owner_ = nullptr;
   }
   return *this;
@@ -101,6 +103,13 @@ util::StatusOr<Buffer> Allocator::AllocateImpl(uint64_t bytes,
   buf.size_ = bytes;
   buf.page_bytes_ = page;
   buf.gpu_bytes_ = gpu_bytes;
+  // Deterministic simulated virtual address: a never-reused bump pointer
+  // with the same alignment as the host storage. TLB range ids derive from
+  // this address, so simulated counters are a pure function of the
+  // allocation sequence, independent of host heap/mmap layout (and thus
+  // identical across runs and executor thread counts).
+  buf.sim_addr_ = util::AlignUp(next_sim_addr_, align);
+  next_sim_addr_ = buf.sim_addr_ + padded;
   buf.placement_ = placement;
   buf.owner_ = this;
   if (observer_ != nullptr) observer_->OnAlloc(buf);

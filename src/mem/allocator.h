@@ -74,6 +74,9 @@ class Allocator {
   uint64_t gpu_used_ = 0;
   uint64_t cpu_used_ = 0;
   int64_t live_buffers_ = 0;
+  /// Next simulated virtual address handed out (bump pointer, never
+  /// reused); starts away from 0 so null-ish addresses stay invalid.
+  uint64_t next_sim_addr_ = 1ULL << 40;
   AllocationObserver* observer_ = nullptr;
 };
 

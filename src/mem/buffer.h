@@ -96,8 +96,14 @@ class Buffer {
     return placement_.LocationOfPage(offset / page_bytes_);
   }
 
-  /// Virtual base address used for TLB simulation.
-  uint64_t base_addr() const { return reinterpret_cast<uint64_t>(data_); }
+  /// Virtual base address used for TLB simulation and traffic accounting.
+  /// Allocator-owned buffers get a *deterministic* simulated address (a
+  /// bump pointer per Allocator), so TLB set conflicts — and through them
+  /// every performance counter — depend only on the allocation sequence,
+  /// never on where the host heap happened to place the backing storage.
+  uint64_t base_addr() const {
+    return sim_addr_ != 0 ? sim_addr_ : reinterpret_cast<uint64_t>(data_);
+  }
 
   /// Bytes of this buffer resident in GPU memory.
   uint64_t GpuBytes() const { return gpu_bytes_; }
@@ -111,6 +117,8 @@ class Buffer {
   uint64_t size_ = 0;
   uint64_t page_bytes_ = 1;
   uint64_t gpu_bytes_ = 0;
+  /// Simulated virtual address; 0 = fall back to the host pointer.
+  uint64_t sim_addr_ = 0;
   Placement placement_ = Placement::AllCpu();
   Allocator* owner_ = nullptr;
 };

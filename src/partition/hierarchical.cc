@@ -57,25 +57,29 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
 
   // L2 buffers live in GPU memory; allocate (and account) them for real so
   // capacity pressure on the GPU is honest. One buffer per (block,
-  // partition) plus one spare per warp would be the physical layout; the
-  // simulation reuses one block's worth at a time.
-  uint64_t l2_bytes =
-      static_cast<uint64_t>(fanout) * l2_cap * sizeof(Tuple);
+  // partition), matching the physical layout — blocks run concurrently on
+  // the executor, so each needs its own slice of the staging storage.
+  uint64_t l2_bytes = static_cast<uint64_t>(num_blocks) * fanout * l2_cap *
+                      sizeof(Tuple);
   auto l2_storage = dev.allocator().AllocateGpu(std::max<uint64_t>(
       l2_bytes, 1));
-  // If GPU memory is too tight even for one block's L2 buffers, degrade
-  // to Shared behaviour (l2 == l1 eviction is a plain flush).
+  // If GPU memory is too tight for the L2 buffers, degrade to Shared
+  // behaviour (l2 == l1 eviction is a plain flush).
   const bool have_l2 = l2_storage.ok();
 
   PartitionOptions o = opts;
   if (o.name.empty()) o.name = "hierarchical";
   PartitionRun run = internal::RunPartitionKernel(
       dev, input, layout, o, kPartitionCyclesPerTuple,
-      [&](exec::KernelContext& ctx, internal::BlockState& st, uint64_t begin,
-          uint64_t end) -> uint64_t {
+      [&](exec::KernelContext& ctx, internal::BlockState& st, const Input& in,
+          uint64_t begin, uint64_t end) -> uint64_t {
         std::vector<Tuple> l1(static_cast<uint64_t>(fanout) * l1_cap);
         std::vector<uint32_t> l1_fill(fanout, 0);
         std::vector<uint32_t> l2_fill(fanout, 0);
+        // This block's slice of the (block, partition)-major L2 staging
+        // storage, in tuples.
+        const uint64_t l2_base =
+            static_cast<uint64_t>(st.block) * fanout * l2_cap;
         // L1 buffer locks use ids [0, fanout); the L2 buffers in GPU memory
         // are guarded by lock ids [fanout, 2 * fanout).
         sanitizer::ScratchpadShadow shadow(ctx.sanitizer(),
@@ -94,12 +98,14 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
           uint64_t at = st.cursors[p];
           for (uint32_t i = 0; i < count; ++i) {
             ctx.Store(out, at + i,
-                      ctx.Load<Tuple>(*l2_storage,
-                                      static_cast<uint64_t>(p) * l2_cap + i));
+                      ctx.Load<Tuple>(
+                          *l2_storage,
+                          l2_base + static_cast<uint64_t>(p) * l2_cap + i));
           }
           // Reading the staged tuples back out of GPU memory.
-          ctx.ReadNoTlb(*l2_storage, static_cast<uint64_t>(p) * l2_cap *
-                                         sizeof(Tuple),
+          ctx.ReadNoTlb(*l2_storage,
+                        (l2_base + static_cast<uint64_t>(p) * l2_cap) *
+                            sizeof(Tuple),
                         static_cast<uint64_t>(count) * sizeof(Tuple),
                         /*random=*/false);
           internal::AccountFlush(ctx, *st.tlb, out, at, count, p, warp);
@@ -134,11 +140,13 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
             shadow.AcquireLock(fanout + p, warp);
             for (uint32_t i = 0; i < count; ++i) {
               ctx.Store(*l2_storage,
-                        static_cast<uint64_t>(p) * l2_cap + l2_fill[p] + i,
+                        l2_base + static_cast<uint64_t>(p) * l2_cap +
+                            l2_fill[p] + i,
                         l1[static_cast<uint64_t>(p) * l1_cap + i]);
             }
             ctx.WriteNoTlb(*l2_storage,
-                           (static_cast<uint64_t>(p) * l2_cap + l2_fill[p]) *
+                           (l2_base + static_cast<uint64_t>(p) * l2_cap +
+                            l2_fill[p]) *
                                sizeof(Tuple),
                            static_cast<uint64_t>(count) * sizeof(Tuple),
                            /*random=*/false);
@@ -152,7 +160,7 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
         };
 
         for (uint64_t i = begin; i < end; ++i) {
-          Tuple t = input.Get(i);
+          Tuple t = in.Get(i);
           uint32_t p = radix.PartitionOf(t.key);
           const uint32_t warp = internal::SimWarpOf(i - begin,
                                                     ctx.warp_size());

@@ -102,6 +102,19 @@ inline SlicedRowInput PartitionInputOf(const mem::Buffer& rows,
   return SlicedRowInput(&rows, std::move(slices));
 }
 
+/// Computes one block's histogram over input tuples [begin, end) into the
+/// preallocated, zeroed `histogram` (fanout entries). The building block of
+/// ComputeHistograms that the GPU prefix-sum kernels run per thread block.
+template <typename Input>
+void ComputeBlockHistogram(const Input& input, RadixConfig radix,
+                           uint64_t begin, uint64_t end,
+                           std::vector<uint64_t>& histogram) {
+  DCHECK_EQ(histogram.size(), radix.fanout());
+  for (uint64_t i = begin; i < end; ++i) {
+    ++histogram[radix.PartitionOf(input.Get(i).key)];
+  }
+}
+
 /// Computes per-block histograms for `input` split into `num_blocks`
 /// contiguous chunks (the functional part of the prefix-sum kernels).
 template <typename Input>
@@ -115,9 +128,7 @@ std::vector<std::vector<uint64_t>> ComputeHistograms(const Input& input,
   for (uint32_t b = 0; b < num_blocks; ++b) {
     uint64_t begin = static_cast<uint64_t>(b) * chunk;
     uint64_t end = std::min(n, begin + chunk);
-    for (uint64_t i = begin; i < end; ++i) {
-      ++histograms[b][radix.PartitionOf(input.Get(i).key)];
-    }
+    ComputeBlockHistogram(input, radix, begin, end, histograms[b]);
   }
   return histograms;
 }

@@ -32,8 +32,8 @@ PartitionRun LinearPartitioner::Run(exec::Device& dev, const Input& input,
   return internal::RunPartitionKernel(
       dev, input, layout, o,
       kPartitionCyclesPerTuple + kLinearExtraCyclesPerTuple,
-      [&](exec::KernelContext& ctx, internal::BlockState& st, uint64_t begin,
-          uint64_t end) -> uint64_t {
+      [&](exec::KernelContext& ctx, internal::BlockState& st, const Input& in,
+          uint64_t begin, uint64_t end) -> uint64_t {
         std::vector<uint32_t> counts(fanout);
         sanitizer::ScratchpadShadow shadow(
             ctx.sanitizer(),
@@ -48,7 +48,7 @@ PartitionRun LinearPartitioner::Run(exec::Device& dev, const Input& input,
           // tuple is staged once into the arena by its owning warp.
           std::fill(counts.begin(), counts.end(), 0u);
           for (uint64_t i = base; i < batch_end; ++i) {
-            ++counts[radix.PartitionOf(input.Get(i).key)];
+            ++counts[radix.PartitionOf(in.Get(i).key)];
             shadow.Store((i - base) * sizeof(Tuple), sizeof(Tuple),
                          internal::SimWarpOf(i - base, ctx.warp_size()));
           }
@@ -66,7 +66,7 @@ PartitionRun LinearPartitioner::Run(exec::Device& dev, const Input& input,
           // reusable for the next batch.
           shadow.Load(0, (batch_end - base) * sizeof(Tuple), /*warp=*/0);
           for (uint64_t i = base; i < batch_end; ++i) {
-            Tuple t = input.Get(i);
+            Tuple t = in.Get(i);
             ctx.Store(out, st.cursors[radix.PartitionOf(t.key)]++, t);
           }
           shadow.SyncRange(0,

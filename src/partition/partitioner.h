@@ -127,8 +127,14 @@ inline void AccountFlush(exec::KernelContext& ctx, sim::BlockTlb& tlb,
 
 /// Shared kernel driver: splits the input into per-block chunks, accounts
 /// the streamed input read, sets up cursors and the block TLB, and invokes
-/// `per_block(ctx, state, begin, end)` for each block, which returns the
-/// number of flushes it issued. `cycles_per_tuple` is charged automatically.
+/// `per_block(ctx, state, input, begin, end)` for each block, which returns
+/// the number of flushes it issued. `cycles_per_tuple` is charged
+/// automatically.
+///
+/// Blocks run concurrently on the exec::BlockExecutor pool, so per_block
+/// receives a per-block *copy* of the input view (SlicedRowInput caches its
+/// current slice) and a per-block sub-context; all shared-device effects
+/// are reduced in block order by ForEachBlock.
 template <typename Input, typename PerBlockFn>
 PartitionRun RunPartitionKernel(exec::Device& dev, const Input& input,
                                 const PartitionLayout& layout,
@@ -136,7 +142,6 @@ PartitionRun RunPartitionKernel(exec::Device& dev, const Input& input,
                                 double cycles_per_tuple,
                                 PerBlockFn&& per_block) {
   PartitionRun run;
-  uint64_t total_flushes = 0;
   exec::KernelConfig cfg;
   cfg.name = opts.name;
   cfg.sms = opts.sms == 0 ? dev.hw().gpu.num_sms : opts.sms;
@@ -145,19 +150,21 @@ PartitionRun RunPartitionKernel(exec::Device& dev, const Input& input,
   CHECK_EQ(num_blocks, layout.num_blocks())
       << "layout was computed for a different grid";
 
+  std::vector<uint64_t> block_flushes(num_blocks, 0);
   run.record = dev.Launch(cfg, [&](exec::KernelContext& ctx) {
     const uint64_t n = input.size();
     const uint64_t chunk = (n + num_blocks - 1) / num_blocks;
     const uint32_t fanout = layout.fanout();
     ctx.ExpectTuples(n, sizeof(Tuple));
-    for (uint32_t b = 0; b < num_blocks; ++b) {
+    ctx.ForEachBlock(num_blocks, [&](exec::KernelContext& sub, uint32_t b) {
       uint64_t begin = static_cast<uint64_t>(b) * chunk;
       uint64_t end = std::min(n, begin + chunk);
-      if (begin >= end) continue;
-      ctx.SetSanitizerBlock(b);
-      input.AccountRead(ctx, begin, end);
+      if (begin >= end) return;
+      sub.SetSanitizerBlock(b);
+      Input block_input = input;
+      block_input.AccountRead(sub, begin, end);
 
-      sim::BlockTlb tlb(dev.hw().tlb, num_blocks, &dev.tlb());
+      sim::BlockTlb tlb(dev.hw().tlb, num_blocks, sub.escalation_sink());
       BlockState state;
       state.block = b;
       state.tlb = &tlb;
@@ -165,18 +172,18 @@ PartitionRun RunPartitionKernel(exec::Device& dev, const Input& input,
       for (uint32_t p = 0; p < fanout; ++p) {
         state.cursors[p] = layout.SliceBegin(p, b);
       }
-      total_flushes += per_block(ctx, state, begin, end);
+      block_flushes[b] = per_block(sub, state, block_input, begin, end);
 
       // Verify the block wrote exactly its slice sizes.
       for (uint32_t p = 0; p < fanout; ++p) {
         DCHECK_EQ(state.cursors[p],
                   layout.SliceBegin(p, b) + layout.SliceSize(p, b));
       }
-    }
+    });
     ctx.AddTuples(n);
     ctx.Charge(static_cast<uint64_t>(n * cycles_per_tuple));
   });
-  run.flushes = total_flushes;
+  for (uint64_t f : block_flushes) run.flushes += f;
   return run;
 }
 

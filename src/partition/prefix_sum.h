@@ -48,12 +48,18 @@ PartitionLayout GpuPrefixSum(exec::Device& dev, const Input& input,
   dev.Launch(cfg, [&](exec::KernelContext& ctx) {
     const uint64_t n = input.size();
     const uint64_t chunk = (n + num_blocks - 1) / num_blocks;
-    for (uint32_t b = 0; b < num_blocks; ++b) {
+    std::vector<std::vector<uint64_t>> histograms(
+        num_blocks, std::vector<uint64_t>(radix.fanout(), 0));
+    ctx.ForEachBlock(num_blocks, [&](exec::KernelContext& sub, uint32_t b) {
       uint64_t begin = static_cast<uint64_t>(b) * chunk;
       uint64_t end = std::min(n, begin + chunk);
-      if (begin < end) input.AccountReadKeys(ctx, begin, end);
-    }
-    auto histograms = ComputeHistograms(input, radix, num_blocks);
+      if (begin >= end) return;
+      sub.SetSanitizerBlock(b);
+      // Per-block copy: sliced inputs cache a slice cursor in Get().
+      Input block_input = input;
+      block_input.AccountReadKeys(sub, begin, end);
+      ComputeBlockHistogram(block_input, radix, begin, end, histograms[b]);
+    });
     layout = PartitionLayout(radix, histograms, opts.pad_tuples);
     ctx.AddTuples(n);
     ctx.Charge(static_cast<uint64_t>(n * kPrefixSumCyclesPerTuple));

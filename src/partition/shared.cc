@@ -36,8 +36,8 @@ PartitionRun SharedPartitioner::Run(exec::Device& dev, const Input& input,
   if (o.name.empty()) o.name = "shared";
   return internal::RunPartitionKernel(
       dev, input, layout, o, kPartitionCyclesPerTuple,
-      [&](exec::KernelContext& ctx, internal::BlockState& st, uint64_t begin,
-          uint64_t end) -> uint64_t {
+      [&](exec::KernelContext& ctx, internal::BlockState& st, const Input& in,
+          uint64_t begin, uint64_t end) -> uint64_t {
         // Block-shared scratchpad buffers: one per partition, `cap` tuples.
         std::vector<Tuple> buffers(static_cast<uint64_t>(fanout) * cap);
         std::vector<uint32_t> fill(fanout, 0);
@@ -73,7 +73,7 @@ PartitionRun SharedPartitioner::Run(exec::Device& dev, const Input& input,
         // slot; a thread hitting a full buffer triggers the flush phase for
         // that buffer (Figure 8's steps, warp-synchronous).
         for (uint64_t i = begin; i < end; ++i) {
-          Tuple t = input.Get(i);
+          Tuple t = in.Get(i);
           uint32_t p = radix.PartitionOf(t.key);
           const uint32_t warp = internal::SimWarpOf(i - begin,
                                                     ctx.warp_size());

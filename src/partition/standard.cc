@@ -12,8 +12,8 @@ PartitionRun StandardPartitioner::Run(exec::Device& dev, const Input& input,
   if (o.name.empty()) o.name = "standard";
   return internal::RunPartitionKernel(
       dev, input, layout, o, kPartitionCyclesPerTuple,
-      [&](exec::KernelContext& ctx, internal::BlockState& st, uint64_t begin,
-          uint64_t end) -> uint64_t {
+      [&](exec::KernelContext& ctx, internal::BlockState& st, const Input& in,
+          uint64_t begin, uint64_t end) -> uint64_t {
         // One warp scatters 32 tuples at a time. Lanes whose tuples fall in
         // the same partition land on consecutive cursor slots, so the
         // hardware coalescing unit merges them into one transaction — the
@@ -29,7 +29,7 @@ PartitionRun StandardPartitioner::Run(exec::Device& dev, const Input& input,
           uint64_t batch_end = std::min(end, i + warp);
           const uint32_t sim_warp = internal::SimWarpOf(i - begin, warp);
           for (uint64_t j = i; j < batch_end; ++j) {
-            uint32_t p = radix.PartitionOf(input.Get(j).key);
+            uint32_t p = radix.PartitionOf(in.Get(j).key);
             if (run_count[p]++ == 0) touched.push_back(p);
           }
           for (uint32_t p : touched) {
@@ -41,7 +41,7 @@ PartitionRun StandardPartitioner::Run(exec::Device& dev, const Input& input,
           }
           touched.clear();
           for (uint64_t j = i; j < batch_end; ++j) {
-            Tuple t = input.Get(j);
+            Tuple t = in.Get(j);
             ctx.Store(out, st.cursors[radix.PartitionOf(t.key)]++, t);
           }
         }

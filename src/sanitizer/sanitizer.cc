@@ -189,6 +189,34 @@ void DeviceSanitizer::EndLaunch(const sim::PerfCounters& counters) {
   scope_ = Scope();
 }
 
+// --- Parallel block execution ---
+
+std::unique_ptr<DeviceSanitizer> DeviceSanitizer::Fork() const {
+  auto child = std::make_unique<DeviceSanitizer>();
+  child->live_ = live_;
+  child->scope_ = scope_;
+  child->in_launch_ = in_launch_;
+  child->tolerance_bytes_ = tolerance_bytes_;
+  return child;
+}
+
+void DeviceSanitizer::MergeBlock(DeviceSanitizer& child) {
+  for (auto& v : child.violations_) violations_.push_back(std::move(v));
+  child.violations_.clear();
+  // Interval union is order-independent, so the unordered_map iteration
+  // order below cannot affect the merged state.
+  for (auto& [base, set] : child.functional_writes_) {
+    auto& dst = functional_writes_[base];
+    for (const auto& [begin, end] : set.ranges) dst.Add(begin, end);
+  }
+  for (auto& [base, set] : child.accounted_writes_) {
+    auto& dst = accounted_writes_[base];
+    for (const auto& [begin, end] : set.ranges) dst.Add(begin, end);
+  }
+  child.functional_writes_.clear();
+  child.accounted_writes_.clear();
+}
+
 // --- Recording ---
 
 void DeviceSanitizer::RecordAccounted(uint64_t addr, uint64_t size,

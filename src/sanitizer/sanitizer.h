@@ -39,6 +39,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -121,6 +122,22 @@ class DeviceSanitizer : public mem::AllocationObserver {
   /// buffer written through the checked API and the counter lint, then
   /// drops the per-launch shadow state.
   void EndLaunch(const sim::PerfCounters& counters);
+
+  // --- Parallel block execution (exec::KernelContext::ForEachBlock) ---
+
+  /// Creates a per-block child: the live-allocation map and launch scope
+  /// are copied (read-only while blocks are in flight — the allocator must
+  /// not be used inside a block), shadow maps and violations start empty.
+  /// The child is not an allocation observer; merge it back with
+  /// MergeBlock.
+  std::unique_ptr<DeviceSanitizer> Fork() const;
+
+  /// Folds one block's child state back into this sanitizer: violations
+  /// are appended (keeping the child's block/warp provenance and program
+  /// order) and the per-launch shadow write intervals are unioned. Must be
+  /// called in block order so violation order — and therefore test output —
+  /// is bit-identical to serial execution.
+  void MergeBlock(DeviceSanitizer& child);
 
   // --- Execution provenance (drives violation messages) ---
 

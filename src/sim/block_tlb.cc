@@ -5,7 +5,7 @@
 namespace triton::sim {
 
 BlockTlb::BlockTlb(const TlbSpec& spec, uint32_t resident_blocks,
-                   TlbSimulator* shared_iotlb)
+                   TlbEscalationSink* shared_iotlb)
     : spec_(spec),
       l1_(static_cast<uint64_t>(spec.l1_entries) * spec.l2_entry_range,
           spec.l2_entry_range, /*ways=*/4),

@@ -27,9 +27,11 @@ namespace triton::sim {
 class BlockTlb {
  public:
   /// `resident_blocks` is the number of blocks concurrently sharing the L2
-  /// TLB. `shared_iotlb` (owned by the Device) handles IOMMU-side caching.
+  /// TLB. `escalation` receives full misses: the Device's TlbSimulator
+  /// under serial execution, or a per-block deferring sink under parallel
+  /// block execution (see TlbEscalationSink).
   BlockTlb(const TlbSpec& spec, uint32_t resident_blocks,
-           TlbSimulator* shared_iotlb);
+           TlbEscalationSink* escalation);
 
   /// Translates one access; updates counters and returns the outcome.
   TranslationResult Access(uint64_t addr, PageLocation loc,
@@ -43,7 +45,7 @@ class BlockTlb {
   TranslationCache l1_;
   TranslationCache l2_slice_;
   TranslationCache l3_slice_;
-  TlbSimulator* shared_iotlb_;
+  TlbEscalationSink* shared_iotlb_;
 };
 
 }  // namespace triton::sim

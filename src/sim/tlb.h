@@ -75,8 +75,27 @@ struct TranslationResult {
   double latency = 0.0;
 };
 
+/// Destination for TLB misses that escalate past block-local levels.
+///
+/// sim::BlockTlb models the per-SM L1 and shared-slice levels itself and
+/// hands full misses to a sink. During serial execution the sink is the
+/// Device's TlbSimulator directly; under parallel block execution it is a
+/// per-block deferring sink (exec::KernelContext) that logs the escalation
+/// and replays it through the shared TlbSimulator in block order at launch
+/// end — shared TLB state must never be mutated while blocks are in flight.
+class TlbEscalationSink {
+ public:
+  virtual ~TlbEscalationSink() = default;
+
+  /// Handles an access that missed every block-local level; see
+  /// TlbSimulator::EscalateMiss for the accounting contract. Deferring
+  /// sinks return a zero result (callers that defer discard latencies).
+  virtual TranslationResult EscalateMiss(uint64_t addr, PageLocation loc,
+                                         PerfCounters* counters) = 0;
+};
+
 /// Two-level translation hierarchy: GPU L2 TLB + IOMMU-side cache.
-class TlbSimulator {
+class TlbSimulator : public TlbEscalationSink {
  public:
   explicit TlbSimulator(const TlbSpec& spec);
 
@@ -91,7 +110,7 @@ class TlbSimulator {
   /// this performs the IOMMU request / IOTLB lookup / walk accounting; for
   /// GPU-memory pages it charges the on-board miss latency.
   TranslationResult EscalateMiss(uint64_t addr, PageLocation loc,
-                                 PerfCounters* counters);
+                                 PerfCounters* counters) override;
 
   /// A translation request arriving at the CPU's IOMMU: counted as an
   /// IOMMU request; an IOTLB hit costs the L3 TLB* latency, a miss is a
@@ -105,6 +124,13 @@ class TlbSimulator {
   void FlushAll();
 
   const TlbSpec& spec() const { return spec_; }
+
+  /// Total lookups across all levels: advances only when shared TLB state
+  /// is touched, so tests can assert the replay-at-reduction contract
+  /// (no shared mutation while blocks are in flight).
+  uint64_t TotalLookups() const {
+    return l2_.lookups() + l3_.lookups() + iommu_iotlb_.lookups();
+  }
 
  private:
   TlbSpec spec_;

@@ -1,0 +1,534 @@
+// Parallel block executor tests: simulated thread blocks run on host
+// worker threads, and the determinism contract says every observable —
+// partition contents, join checksums, every PerfCounters field, sanitizer
+// violation provenance, simulated time — is bit-identical for any thread
+// count. Each scenario runs at 1, 2 and 8 threads and is compared against
+// the serial baseline field by field.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/triton_join.h"
+#include "data/generator.h"
+#include "exec/block_executor.h"
+#include "exec/device.h"
+#include "join/common.h"
+#include "join/cpu_partitioned_join.h"
+#include "join/scratch_join.h"
+#include "partition/hierarchical.h"
+#include "partition/input.h"
+#include "partition/layout.h"
+#include "partition/prefix_sum.h"
+#include "partition/shared.h"
+#include "sanitizer/sanitizer.h"
+#include "sim/hw_spec.h"
+
+namespace triton {
+namespace {
+
+using partition::ColumnInput;
+using partition::PartitionLayout;
+using partition::PartitionRun;
+using partition::RadixConfig;
+using partition::Tuple;
+using sanitizer::Violation;
+using sanitizer::ViolationCode;
+
+/// Scoped thread-count override; restores the previous pool size.
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(uint32_t threads)
+      : prev_(exec::BlockExecutor::Global().threads()) {
+    exec::BlockExecutor::Global().SetThreads(threads);
+  }
+  ~ThreadsGuard() { exec::BlockExecutor::Global().SetThreads(prev_); }
+
+ private:
+  uint32_t prev_;
+};
+
+/// Field-by-field equality over the full counter record: any drift between
+/// thread counts is a determinism bug, not noise.
+void ExpectCountersEq(const sim::PerfCounters& a, const sim::PerfCounters& b) {
+  EXPECT_EQ(a.gpu_mem_read, b.gpu_mem_read);
+  EXPECT_EQ(a.gpu_mem_write, b.gpu_mem_write);
+  EXPECT_EQ(a.gpu_mem_random_write, b.gpu_mem_random_write);
+  EXPECT_EQ(a.link_read_payload, b.link_read_payload);
+  EXPECT_EQ(a.link_read_physical, b.link_read_physical);
+  EXPECT_EQ(a.link_write_payload, b.link_write_payload);
+  EXPECT_EQ(a.link_write_physical, b.link_write_physical);
+  EXPECT_EQ(a.link_read_txns, b.link_read_txns);
+  EXPECT_EQ(a.link_write_txns, b.link_write_txns);
+  EXPECT_EQ(a.cpu_mem_read, b.cpu_mem_read);
+  EXPECT_EQ(a.cpu_mem_write, b.cpu_mem_write);
+  EXPECT_EQ(a.gpu_tlb_lookups, b.gpu_tlb_lookups);
+  EXPECT_EQ(a.gpu_tlb_misses, b.gpu_tlb_misses);
+  EXPECT_EQ(a.l3_hits, b.l3_hits);
+  EXPECT_EQ(a.iommu_requests, b.iommu_requests);
+  EXPECT_EQ(a.iommu_walks, b.iommu_walks);
+  EXPECT_EQ(a.issue_slots, b.issue_slots);
+  EXPECT_EQ(a.tuples, b.tuples);
+}
+
+// --- BlockExecutor unit tests ---
+
+TEST(BlockExecutorTest, RunsEveryBlockExactlyOnce) {
+  ThreadsGuard guard(8);
+  std::vector<std::atomic<int>> hits(100);
+  exec::BlockExecutor::Global().Run(100, [&](uint32_t b) { ++hits[b]; });
+  for (uint32_t b = 0; b < 100; ++b) {
+    EXPECT_EQ(hits[b].load(), 1) << "block " << b;
+  }
+}
+
+TEST(BlockExecutorTest, SetThreadsResizesThePool) {
+  ThreadsGuard guard(8);
+  EXPECT_EQ(exec::BlockExecutor::Global().threads(), 8u);
+  exec::BlockExecutor::Global().SetThreads(2);
+  EXPECT_EQ(exec::BlockExecutor::Global().threads(), 2u);
+  std::atomic<int> total{0};
+  exec::BlockExecutor::Global().Run(17, [&](uint32_t) { ++total; });
+  EXPECT_EQ(total.load(), 17);
+}
+
+TEST(BlockExecutorTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadsGuard guard(8);
+  EXPECT_THROW(
+      exec::BlockExecutor::Global().Run(50,
+                                        [&](uint32_t b) {
+                                          if (b == 37) {
+                                            throw std::runtime_error("b37");
+                                          }
+                                        }),
+      std::runtime_error);
+  // The pool drained cleanly and accepts the next batch.
+  std::atomic<int> total{0};
+  exec::BlockExecutor::Global().Run(20, [&](uint32_t) { ++total; });
+  EXPECT_EQ(total.load(), 20);
+}
+
+// --- Shared-TLB replay-at-reduction contract ---
+
+// The shared device TLB must never be touched while blocks are in flight
+// (a mid-kernel mutation would make counters depend on block scheduling);
+// every deferred access replays in block order at the reduction step.
+TEST(TlbReplayContractTest, SharedTlbUntouchedWhileBlocksRun) {
+  ThreadsGuard guard(8);
+  sim::HwSpec hw = sim::HwSpec::Ac922NvLink().Scaled(64);
+  exec::Device dev(hw);
+  auto buf = dev.allocator().AllocateCpu(1 << 20);
+  ASSERT_TRUE(buf.ok());
+  uint64_t before = 0;
+  std::vector<uint64_t> seen_in_block(8, 0);
+  dev.Launch({.name = "replay_contract"}, [&](exec::KernelContext& ctx) {
+    before = dev.tlb().TotalLookups();
+    ctx.ForEachBlock(8, [&](exec::KernelContext& sub, uint32_t b) {
+      // A random access through the public API would hit the shared TLB
+      // immediately on a serial context; a sub-context must defer it.
+      sub.ReadRand(*buf, static_cast<uint64_t>(b) * 4096, 16);
+      seen_in_block[b] = dev.tlb().TotalLookups();
+    });
+    // Reduction has replayed the deferred accesses by the time
+    // ForEachBlock returns.
+    EXPECT_GT(dev.tlb().TotalLookups(), before);
+  });
+  for (uint32_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(seen_in_block[b], before) << "block " << b
+                                        << " saw a mid-kernel TLB mutation";
+  }
+}
+
+// --- Bit-identity scenarios ---
+
+class ParallelIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { hw_ = sim::HwSpec::Ac922NvLink().Scaled(64); }
+
+  data::Workload MakeWorkload(mem::Allocator& alloc, uint64_t n) {
+    data::WorkloadConfig cfg;
+    cfg.r_tuples = n;
+    cfg.s_tuples = n;
+    auto wl = data::GenerateWorkload(alloc, cfg);
+    CHECK_OK(wl.status());
+    return std::move(wl).value();
+  }
+
+  /// Output of one partition scenario: data-slice contents in layout order
+  /// plus all accounting.
+  struct PartResult {
+    std::vector<Tuple> tuples;
+    sim::PerfCounters counters;
+    uint64_t flushes = 0;
+    double tuples_per_txn = 0.0;
+    double elapsed = 0.0;
+  };
+
+  PartResult RunPartition(partition::GpuPartitioner& algo, uint32_t threads,
+                          uint64_t n, uint32_t bits, uint32_t blocks) {
+    ThreadsGuard guard(threads);
+    exec::Device dev(hw_, /*sanitize=*/true);
+    auto wl = MakeWorkload(dev.allocator(), n);
+    ColumnInput input = ColumnInput::Of(wl.r);
+    RadixConfig radix{0, bits};
+    PartitionLayout layout =
+        partition::GpuPrefixSum(dev, input, radix, blocks);
+    auto out = dev.allocator().AllocateCpu(layout.padded_tuples() *
+                                           sizeof(Tuple));
+    CHECK_OK(out.status());
+    PartitionRun run = algo.PartitionColumns(dev, input, layout, *out, {});
+
+    PartResult res;
+    const Tuple* rows = out->as<Tuple>();
+    for (uint32_t p = 0; p < layout.fanout(); ++p) {
+      layout.ForEachSlice(p, [&](uint64_t begin, uint64_t count) {
+        res.tuples.insert(res.tuples.end(), rows + begin,
+                          rows + begin + count);
+      });
+    }
+    res.counters = run.record.counters;
+    res.flushes = run.flushes;
+    res.tuples_per_txn = run.TuplesPerWriteTxn();
+    res.elapsed = run.Elapsed();
+    std::vector<Violation> vs = dev.sanitizer()->TakeViolations();
+    EXPECT_TRUE(vs.empty()) << vs.size() << " violation(s) at threads "
+                            << threads << ", first: " << vs.front().message;
+    return res;
+  }
+
+  void ExpectPartResultEq(const PartResult& a, const PartResult& b) {
+    ASSERT_EQ(a.tuples.size(), b.tuples.size());
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      ASSERT_EQ(a.tuples[i].key, b.tuples[i].key) << "tuple " << i;
+      ASSERT_EQ(a.tuples[i].value, b.tuples[i].value) << "tuple " << i;
+    }
+    ExpectCountersEq(a.counters, b.counters);
+    EXPECT_EQ(a.flushes, b.flushes);
+    EXPECT_EQ(a.tuples_per_txn, b.tuples_per_txn);  // Figure 18b metric
+    EXPECT_EQ(a.elapsed, b.elapsed);
+  }
+
+  struct JoinResult {
+    uint64_t matches = 0;
+    uint64_t checksum = 0;
+    sim::PerfCounters totals;
+    double elapsed = 0.0;
+  };
+
+  template <typename JoinFn>
+  JoinResult RunJoin(uint32_t threads, uint64_t n, JoinFn&& make_join) {
+    ThreadsGuard guard(threads);
+    exec::Device dev(hw_, /*sanitize=*/true);
+    auto wl = MakeWorkload(dev.allocator(), n);
+    auto join = make_join();
+    auto run = join.Run(dev, wl.r, wl.s);
+    CHECK_OK(run.status());
+    JoinResult res;
+    res.matches = run->matches;
+    res.checksum = run->checksum;
+    res.totals = run->totals;
+    res.elapsed = run->elapsed;
+    EXPECT_EQ(res.matches, n);
+    std::vector<Violation> vs = dev.sanitizer()->TakeViolations();
+    EXPECT_TRUE(vs.empty()) << vs.size() << " violation(s) at threads "
+                            << threads << ", first: " << vs.front().message;
+    return res;
+  }
+
+  void ExpectJoinResultEq(const JoinResult& a, const JoinResult& b) {
+    EXPECT_EQ(a.matches, b.matches);
+    EXPECT_EQ(a.checksum, b.checksum);
+    ExpectCountersEq(a.totals, b.totals);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+  }
+
+  sim::HwSpec hw_;
+};
+
+TEST_F(ParallelIdentityTest, SharedPartitionerIsThreadCountInvariant) {
+  partition::SharedPartitioner shared;
+  PartResult serial = RunPartition(shared, 1, 60000, 9, 8);
+  for (uint32_t threads : {2u, 8u}) {
+    PartResult par = RunPartition(shared, threads, 60000, 9, 8);
+    ExpectPartResultEq(serial, par);
+  }
+}
+
+TEST_F(ParallelIdentityTest, HierarchicalPartitionerIsThreadCountInvariant) {
+  partition::HierarchicalPartitioner hier;
+  PartResult serial = RunPartition(hier, 1, 60000, 9, 8);
+  for (uint32_t threads : {2u, 8u}) {
+    PartResult par = RunPartition(hier, threads, 60000, 9, 8);
+    ExpectPartResultEq(serial, par);
+  }
+}
+
+TEST_F(ParallelIdentityTest, GpuPrefixSumIsThreadCountInvariant) {
+  auto run_once = [&](uint32_t threads) {
+    ThreadsGuard guard(threads);
+    exec::Device dev(hw_, /*sanitize=*/true);
+    auto wl = MakeWorkload(dev.allocator(), 50000);
+    ColumnInput input = ColumnInput::Of(wl.r);
+    dev.ClearTrace();
+    PartitionLayout layout =
+        partition::GpuPrefixSum(dev, input, RadixConfig{0, 6}, 8);
+    sim::PerfCounters counters = dev.trace().back().counters;
+    return std::make_pair(layout, counters);
+  };
+  auto [layout1, counters1] = run_once(1);
+  for (uint32_t threads : {2u, 8u}) {
+    auto [layout_t, counters_t] = run_once(threads);
+    ASSERT_EQ(layout_t.fanout(), layout1.fanout());
+    for (uint32_t p = 0; p < layout1.fanout(); ++p) {
+      for (uint32_t b = 0; b < layout1.num_blocks(); ++b) {
+        EXPECT_EQ(layout_t.SliceBegin(p, b), layout1.SliceBegin(p, b));
+        EXPECT_EQ(layout_t.SliceSize(p, b), layout1.SliceSize(p, b));
+      }
+    }
+    ExpectCountersEq(counters1, counters_t);
+  }
+}
+
+TEST_F(ParallelIdentityTest, TritonJoinIsThreadCountInvariant) {
+  auto make = [] {
+    return core::TritonJoin({.scheme = join::HashScheme::kBucketChaining});
+  };
+  JoinResult serial = RunJoin(1, 100000, make);
+  for (uint32_t threads : {2u, 8u}) {
+    JoinResult par = RunJoin(threads, 100000, make);
+    ExpectJoinResultEq(serial, par);
+  }
+}
+
+TEST_F(ParallelIdentityTest,
+       TritonJoinWithGpuPrefixSumIsThreadCountInvariant) {
+  auto make = [] {
+    return core::TritonJoin({.scheme = join::HashScheme::kBucketChaining,
+                             .gpu_prefix_sum = true});
+  };
+  JoinResult serial = RunJoin(1, 80000, make);
+  for (uint32_t threads : {2u, 8u}) {
+    JoinResult par = RunJoin(threads, 80000, make);
+    ExpectJoinResultEq(serial, par);
+  }
+}
+
+TEST_F(ParallelIdentityTest, CpuPartitionedJoinIsThreadCountInvariant) {
+  auto make = [] {
+    return join::CpuPartitionedJoin(join::CpuPartitionedJoinConfig{});
+  };
+  JoinResult serial = RunJoin(1, 80000, make);
+  for (uint32_t threads : {2u, 8u}) {
+    JoinResult par = RunJoin(threads, 80000, make);
+    ExpectJoinResultEq(serial, par);
+  }
+}
+
+// The staged emit path used by the parallel join launches must agree with
+// the direct materializing path tuple for tuple.
+TEST_F(ParallelIdentityTest, JoinSlicesEmitMatchesJoinSlices) {
+  exec::Device dev(hw_, /*sanitize=*/false);
+  auto wl = MakeWorkload(dev.allocator(), 5000);
+  // Lay both relations out as single slices of their row buffers.
+  auto rows = dev.allocator().AllocateCpu(2 * 5000 * sizeof(Tuple));
+  ASSERT_TRUE(rows.ok());
+  Tuple* data = rows->as<Tuple>();
+  const data::Key* r_keys = wl.r.key_buffer().as<data::Key>();
+  const data::Value* r_vals = wl.r.payload_buffer(0).as<data::Value>();
+  const data::Key* s_keys = wl.s.key_buffer().as<data::Key>();
+  const data::Value* s_vals = wl.s.payload_buffer(0).as<data::Value>();
+  for (uint64_t i = 0; i < 5000; ++i) {
+    data[i] = Tuple{r_keys[i], r_vals[i]};
+    data[5000 + i] = Tuple{s_keys[i], s_vals[i]};
+  }
+  join::ScratchJoiner joiner(join::HashScheme::kBucketChaining,
+                             hw_.gpu.scratchpad_bytes);
+  uint64_t direct_matches = 0, direct_checksum = 0;
+  uint64_t emit_matches = 0, emit_checksum = 0;
+  dev.Launch({.name = "join"}, [&](exec::KernelContext& ctx) {
+    uint64_t cursor = 0;
+    joiner.JoinSlices(ctx, *rows, {{0, 5000}}, *rows, {{5000, 5000}},
+                      /*radix_shift=*/0, /*result=*/nullptr, &cursor,
+                      &direct_matches, &direct_checksum);
+    joiner.JoinSlicesEmit(ctx, *rows, {{0, 5000}}, *rows, {{5000, 5000}},
+                          /*radix_shift=*/0,
+                          [&](int64_t build_val, int64_t probe_val) {
+                            ++emit_matches;
+                            emit_checksum +=
+                                static_cast<uint64_t>(build_val) +
+                                static_cast<uint64_t>(probe_val);
+                          });
+  });
+  EXPECT_EQ(direct_matches, 5000u);
+  EXPECT_EQ(emit_matches, direct_matches);
+  EXPECT_EQ(emit_checksum, direct_checksum);
+}
+
+// --- Sanitizer provenance under parallel execution ---
+
+class ParallelSanitizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hw_ = sim::HwSpec::Ac922NvLink().Scaled(64);
+    dev_ = std::make_unique<exec::Device>(hw_, /*sanitize=*/true);
+    ASSERT_NE(dev_->sanitizer(), nullptr);
+  }
+
+  Violation TakeSingle(ViolationCode code) {
+    std::vector<Violation> vs = dev_->sanitizer()->TakeViolations();
+    EXPECT_EQ(vs.size(), 1u) << "expected exactly one violation";
+    if (vs.empty()) return Violation{};
+    EXPECT_EQ(vs.front().code, code) << vs.front().message;
+    return vs.front();
+  }
+
+  sim::HwSpec hw_;
+  std::unique_ptr<exec::Device> dev_;
+};
+
+TEST_F(ParallelSanitizerTest, OobFlushKeepsProvenanceAtEightThreads) {
+  ThreadsGuard guard(8);
+  auto buf = dev_->allocator().AllocateCpu(1000);
+  ASSERT_TRUE(buf.ok());
+  dev_->Launch({.name = "part1"}, [&](exec::KernelContext& ctx) {
+    ctx.ForEachBlock(16, [&](exec::KernelContext& sub, uint32_t b) {
+      sub.SetSanitizerBlock(b);
+      if (b != 12) return;
+      sub.SetSanitizerFlushSite(/*warp=*/3, /*partition=*/907);
+      sub.WriteNoTlb(*buf, buf->size() - 8, 48, /*random=*/true);
+      sub.AddTuples(1);
+      sub.Charge(1);
+    });
+  });
+  Violation v = TakeSingle(ViolationCode::kAccountedOutOfBounds);
+  EXPECT_EQ(v.block, 12u);
+  EXPECT_EQ(v.warp, 3u);
+  EXPECT_NE(v.message.find("kernel part1"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("block 12"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("warp 3"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("partition 907"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("flush wrote 40 B past extent"),
+            std::string::npos)
+      << v.message;
+}
+
+TEST_F(ParallelSanitizerTest, ViolationsMergeInBlockOrderAtEightThreads) {
+  ThreadsGuard guard(8);
+  dev_->Launch({.name = "stray"}, [&](exec::KernelContext& ctx) {
+    ctx.ForEachBlock(16, [&](exec::KernelContext& sub, uint32_t b) {
+      sub.SetSanitizerBlock(b);
+      if (b != 3 && b != 12) return;
+      // No allocation lives at this address.
+      sub.sanitizer()->RecordAccounted(0x1000 + b, 64, /*is_write=*/true);
+      sub.AddTuples(1);
+      sub.Charge(1);
+    });
+  });
+  std::vector<Violation> vs = dev_->sanitizer()->TakeViolations();
+  ASSERT_EQ(vs.size(), 2u);
+  // Block order, independent of which worker thread finished first.
+  EXPECT_EQ(vs[0].block, 3u);
+  EXPECT_EQ(vs[1].block, 12u);
+  EXPECT_EQ(vs[0].code, ViolationCode::kAccountedOutOfBounds);
+  EXPECT_EQ(vs[1].code, ViolationCode::kAccountedOutOfBounds);
+}
+
+TEST_F(ParallelSanitizerTest, UnaccountedStoreIsCaughtAtEightThreads) {
+  ThreadsGuard guard(8);
+  auto buf = dev_->allocator().AllocateCpu(4096);
+  ASSERT_TRUE(buf.ok());
+  dev_->Launch({.name = "leaky"}, [&](exec::KernelContext& ctx) {
+    ctx.ForEachBlock(8, [&](exec::KernelContext& sub, uint32_t b) {
+      sub.SetSanitizerBlock(b);
+      if (b != 5) return;
+      sub.Store<uint64_t>(*buf, 0, 42);  // no accounted traffic
+      sub.AddTuples(1);
+      sub.Charge(1);
+    });
+  });
+  Violation v = TakeSingle(ViolationCode::kUnaccountedWrite);
+  EXPECT_NE(v.message.find("have no accounted traffic"), std::string::npos)
+      << v.message;
+}
+
+TEST_F(ParallelSanitizerTest, AccountedStoreStaysCleanAtEightThreads) {
+  ThreadsGuard guard(8);
+  auto buf = dev_->allocator().AllocateCpu(64 * 8);
+  ASSERT_TRUE(buf.ok());
+  dev_->Launch({.name = "clean"}, [&](exec::KernelContext& ctx) {
+    ctx.ForEachBlock(8, [&](exec::KernelContext& sub, uint32_t b) {
+      sub.SetSanitizerBlock(b);
+      sub.Store<uint64_t>(*buf, b * 8, 42);
+      sub.WriteSeq(*buf, static_cast<uint64_t>(b) * 64, 64);
+      sub.AddTuples(1);
+      sub.Charge(1);
+    });
+  });
+  EXPECT_TRUE(dev_->sanitizer()->CheckOk().ok());
+}
+
+TEST_F(ParallelSanitizerTest, ScratchpadRaceIsCaughtInsideABlock) {
+  ThreadsGuard guard(8);
+  dev_->Launch({.name = "race"}, [&](exec::KernelContext& ctx) {
+    ctx.ForEachBlock(8, [&](exec::KernelContext& sub, uint32_t b) {
+      sub.SetSanitizerBlock(b);
+      if (b != 7) return;
+      sanitizer::ScratchpadShadow shadow(sub.sanitizer(), 1024,
+                                         hw_.gpu.scratchpad_bytes);
+      shadow.Store(128, 8, /*warp=*/1);
+      shadow.Store(128, 8, /*warp=*/5);  // same word, no sync in between
+      sub.AddTuples(1);
+      sub.Charge(1);
+    });
+  });
+  Violation v = TakeSingle(ViolationCode::kScratchpadRace);
+  EXPECT_EQ(v.block, 7u);
+  EXPECT_EQ(v.warp, 5u);
+  EXPECT_NE(v.message.find("warps 1 and 5"), std::string::npos) << v.message;
+}
+
+TEST_F(ParallelSanitizerTest, LockProtocolIsCaughtInsideABlock) {
+  ThreadsGuard guard(8);
+  dev_->Launch({.name = "locks"}, [&](exec::KernelContext& ctx) {
+    ctx.ForEachBlock(8, [&](exec::KernelContext& sub, uint32_t b) {
+      sub.SetSanitizerBlock(b);
+      if (b != 2) return;
+      sanitizer::ScratchpadShadow shadow(sub.sanitizer(), 1024,
+                                         hw_.gpu.scratchpad_bytes);
+      shadow.AcquireLock(/*lock=*/7, /*warp=*/2);
+      shadow.NoteFlush(/*lock=*/7, /*warp=*/4);  // warp 4 is not the holder
+      shadow.ReleaseLock(/*lock=*/7, /*warp=*/2);
+      sub.AddTuples(1);
+      sub.Charge(1);
+    });
+  });
+  Violation v = TakeSingle(ViolationCode::kLockProtocol);
+  EXPECT_EQ(v.block, 2u);
+  EXPECT_NE(v.message.find("flushed by a warp that does not hold"),
+            std::string::npos)
+      << v.message;
+}
+
+TEST_F(ParallelSanitizerTest, TupleCountLintSeesMergedBlockCounters) {
+  ThreadsGuard guard(8);
+  dev_->Launch({.name = "short"}, [&](exec::KernelContext& ctx) {
+    ctx.ExpectTuples(100, sizeof(Tuple));
+    ctx.ForEachBlock(10, [&](exec::KernelContext& sub, uint32_t b) {
+      sub.SetSanitizerBlock(b);
+      sub.AddTuples(5);  // 10 blocks x 5 = 50, half the expectation
+      sub.Charge(1);
+    });
+  });
+  std::vector<Violation> vs = dev_->sanitizer()->TakeViolations();
+  ASSERT_FALSE(vs.empty());
+  EXPECT_EQ(vs.front().code, ViolationCode::kCounterInvariant);
+  EXPECT_NE(vs.front().message.find("processed 50 tuples, expected 100"),
+            std::string::npos)
+      << vs.front().message;
+}
+
+}  // namespace
+}  // namespace triton
