@@ -23,8 +23,9 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Ablation",
-                      "Contribution of each Triton join design choice");
+  bench::BenchEnv env(argc, argv, "ablation", "Ablation",
+                      "Contribution of each Triton join design choice",
+                      {"mtuples"});
   const uint64_t n = env.Tuples(env.flags().GetDouble("mtuples", 1536));
 
   partition::StandardPartitioner standard;
@@ -48,6 +49,14 @@ int Main(int argc, char** argv) {
     CHECK_EQ(run->matches, n);
     double tp = run->Throughput(n, n);
     if (full_tp == 0.0) full_tp = tp;
+    bench::Measurement meas;
+    meas.AddRun(run->elapsed, tp / 1e9, run->totals);
+    env.reporter().Add({.series = name,
+                        .axis = "configuration",
+                        .label = name,
+                        .unit = "gtuples_per_s",
+                        .m = meas,
+                        .extra = {{"vs_full", tp / full_tp}}});
     table.AddRow({name, bench::GTuples(tp),
                   util::FormatDouble(tp / full_tp, 2) + "x"});
     std::printf(".");
@@ -65,7 +74,7 @@ int Main(int argc, char** argv) {
           {.scheme = join::HashScheme::kPerfect});
   std::printf("\n");
   env.Emit(table, "Ablations on an out-of-core workload");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

@@ -9,17 +9,25 @@
 // factor), so G Tuples/s values are directly comparable to the paper's.
 //
 // Common flags: --scale=N, --runs=N (repetitions; the paper uses 10),
-// --csv (emit CSV after the table), --quick (coarser sweeps), --threads=N
+// --csv (emit CSV after the table), --json[=path] (write the canonical
+// machine-readable report, default BENCH_<figure>.json in the working
+// directory — see bench/reporter.h), --quick (coarser sweeps), --threads=N
 // (host worker threads simulating thread blocks; 0 = TRITON_THREADS env or
 // hardware concurrency — results are bit-identical at any setting).
+// Unknown flags are an error: a typo like --thread=8 would otherwise
+// silently run with the default and poison a regression baseline.
 
 #ifndef TRITON_BENCH_BENCH_COMMON_H_
 #define TRITON_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "bench/reporter.h"
 #include "data/generator.h"
 #include "exec/block_executor.h"
 #include "exec/device.h"
@@ -33,17 +41,35 @@
 namespace triton::bench {
 
 /// Parsed environment shared by all bench binaries.
+///
+/// `figure_id` is the short stable identifier used for the report file name
+/// ("fig13", "ablation", "ext_skew"); `figure` and `title` are the
+/// human-readable heading. Benches with figure-specific flags declare them
+/// in `bench_flags` so flag validation can reject typos.
 class BenchEnv {
  public:
-  BenchEnv(int argc, char** argv, const char* figure, const char* title)
+  BenchEnv(int argc, char** argv, const char* figure_id, const char* figure,
+           const char* title,
+           std::initializer_list<const char*> bench_flags = {})
       : flags_(argc, argv),
         scale_(flags_.GetInt("scale", 64)),
         runs_(flags_.GetInt("runs", 1)),
         csv_(flags_.GetBool("csv", false)),
         quick_(flags_.GetBool("quick", false)),
-        hw_(sim::HwSpec::Ac922NvLink().Scaled(static_cast<double>(scale_))) {
+        hw_(sim::HwSpec::Ac922NvLink().Scaled(static_cast<double>(scale_))),
+        start_(std::chrono::steady_clock::now()) {
+    ValidateFlags(bench_flags);
+    if (flags_.Has("json")) {
+      json_path_ = flags_.GetString("json", "");
+      // Bare --json (parsed as boolean true) selects the default path.
+      if (json_path_.empty() || json_path_ == "true") {
+        json_path_ = std::string("BENCH_") + figure_id + ".json";
+      }
+    }
     exec::BlockExecutor::Global().SetThreads(
         static_cast<uint32_t>(flags_.GetInt("threads", 0)));
+    reporter_.Configure(figure_id, figure, title, hw_.name, scale_, runs_,
+                        quick_);
     std::printf("=== %s: %s ===\n", figure, title);
     std::printf("machine: %s | scale 1/%lld | runs %lld | threads %u\n",
                 hw_.name.c_str(), static_cast<long long>(scale_),
@@ -57,6 +83,9 @@ class BenchEnv {
   bool csv() const { return csv_; }
   bool quick() const { return quick_; }
   const sim::HwSpec& hw() const { return hw_; }
+
+  /// The figure's structured report; benches add one Point per series cell.
+  Reporter& reporter() { return reporter_; }
 
   /// Simulated tuple count for a paper-scale size in million tuples.
   uint64_t Tuples(double paper_mtuples) const {
@@ -78,13 +107,69 @@ class BenchEnv {
     if (csv_) std::printf("\nCSV\n%s", table.ToCsv().c_str());
   }
 
+  /// Final step of every bench Main: writes the JSON report when --json was
+  /// given and prints the host wall-clock. Wall-clock and thread count are
+  /// *not* part of the JSON — the report carries modeled quantities only,
+  /// so reruns (at any --threads) are byte-identical. Returns the process
+  /// exit code.
+  int Finish() {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::printf("host wall-clock %.2f s (stdout only; not in the report)\n",
+                wall);
+    if (!json_path_.empty()) {
+      util::Status st = reporter_.WriteFile(json_path_);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu points)\n", json_path_.c_str(),
+                  reporter_.points().size());
+    }
+    return 0;
+  }
+
  private:
+  /// Rejects flags (and stray positional arguments) this bench does not
+  /// understand, listing what it does.
+  void ValidateFlags(std::initializer_list<const char*> bench_flags) {
+    std::vector<std::string> known = {"scale", "runs",    "csv",
+                                      "quick", "threads", "json"};
+    for (const char* f : bench_flags) known.push_back(f);
+    bool bad = false;
+    for (const std::string& name : flags_.names()) {
+      bool ok = false;
+      for (const std::string& k : known) ok = ok || k == name;
+      if (!ok) {
+        std::fprintf(stderr, "error: unknown flag --%s\n", name.c_str());
+        bad = true;
+      }
+    }
+    for (const std::string& arg : flags_.positional()) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
+      bad = true;
+    }
+    if (bad) {
+      std::fprintf(stderr, "known flags:");
+      for (const std::string& k : known) {
+        std::fprintf(stderr, " --%s", k.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+  }
+
   util::Flags flags_;
   int64_t scale_;
   int64_t runs_;
   bool csv_;
   bool quick_;
   sim::HwSpec hw_;
+  std::string json_path_;
+  Reporter reporter_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Runs `fn` (returning simulated seconds) `runs` times on fresh seeds and

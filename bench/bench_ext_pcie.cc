@@ -19,7 +19,7 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Extension: PCI-e",
+  bench::BenchEnv env(argc, argv, "ext_pcie", "Extension: PCI-e",
                       "Triton join over NVLink 2.0 vs PCI-e 3.0");
   sim::HwSpec pcie = sim::HwSpec::Ac922Pcie3().Scaled(
       static_cast<double>(env.scale()));
@@ -29,35 +29,44 @@ int Main(int argc, char** argv) {
   for (double m : env.quick() ? std::vector<double>{128, 512, 2048}
                               : std::vector<double>{128, 512, 1024, 2048}) {
     uint64_t n = env.Tuples(m);
-    auto measure = [&](const sim::HwSpec& hw, bool cpu_join) {
+    auto measure = [&](const char* series, const sim::HwSpec& hw,
+                       bool cpu_join) {
       exec::Device dev(hw);
       data::WorkloadConfig cfg;
       cfg.r_tuples = n;
       cfg.s_tuples = n;
       auto wl = data::GenerateWorkload(dev.allocator(), cfg);
       CHECK_OK(wl.status());
-      double tp = 0.0;
+      bench::Measurement meas;
       if (cpu_join) {
         join::CpuRadixJoin join({.result_mode = join::ResultMode::kAggregate});
         auto run = join.Run(dev, wl->r, wl->s);
         CHECK_OK(run.status());
-        tp = run->Throughput(n, n);
+        meas.AddRun(run->elapsed, run->Throughput(n, n) / 1e9, run->totals);
       } else {
         core::TritonJoin join({.result_mode = join::ResultMode::kAggregate});
         auto run = join.Run(dev, wl->r, wl->s);
         CHECK_OK(run.status());
-        tp = run->Throughput(n, n);
+        meas.AddRun(run->elapsed, run->Throughput(n, n) / 1e9, run->totals);
       }
-      return bench::GTuples(tp);
+      env.reporter().Add({.series = series,
+                          .axis = "mtuples_per_relation",
+                          .x = m,
+                          .has_x = true,
+                          .unit = "gtuples_per_s",
+                          .m = meas});
+      return util::FormatDouble(meas.value.mean(), 3);
     };
-    table.AddRow({util::FormatDouble(m, 0), measure(env.hw(), false),
-                  measure(pcie, false), measure(env.hw(), true)});
+    table.AddRow({util::FormatDouble(m, 0),
+                  measure("Triton@NVLink", env.hw(), false),
+                  measure("Triton@PCIe", pcie, false),
+                  measure("CPU radix", env.hw(), true)});
     std::printf(".");
     std::fflush(stdout);
   }
   std::printf("\n");
   env.Emit(table, "Interconnect generation vs join throughput (G Tuples/s)");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

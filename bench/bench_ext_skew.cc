@@ -22,8 +22,8 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Extension: skew",
-                      "Zipf-skewed probe side (theta sweep)");
+  bench::BenchEnv env(argc, argv, "ext_skew", "Extension: skew",
+                      "Zipf-skewed probe side (theta sweep)", {"mtuples"});
   const uint64_t n = env.Tuples(env.flags().GetDouble("mtuples", 512));
 
   util::Table table({"zipf theta", "Triton G/s", "NPJ-perfect G/s",
@@ -58,6 +58,23 @@ int Main(int argc, char** argv) {
     double skew_factor = static_cast<double>(max_size) * radix.fanout() /
                          static_cast<double>(n);
 
+    bench::Measurement am;
+    am.AddRun(a->elapsed, a->Throughput(n, n) / 1e9, a->totals);
+    env.reporter().Add({.series = "Triton",
+                        .axis = "zipf_theta",
+                        .x = theta,
+                        .has_x = true,
+                        .unit = "gtuples_per_s",
+                        .m = am,
+                        .extra = {{"skew_factor", skew_factor}}});
+    bench::Measurement bm;
+    bm.AddRun(b->elapsed, b->Throughput(n, n) / 1e9, b->totals);
+    env.reporter().Add({.series = "NPJ-perfect",
+                        .axis = "zipf_theta",
+                        .x = theta,
+                        .has_x = true,
+                        .unit = "gtuples_per_s",
+                        .m = bm});
     table.AddRow({util::FormatDouble(theta, 2),
                   bench::GTuples(a->Throughput(n, n)),
                   bench::GTuples(b->Throughput(n, n)),
@@ -67,7 +84,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n");
   env.Emit(table, "Join throughput under probe-side skew");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

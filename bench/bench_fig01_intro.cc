@@ -17,39 +17,46 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 1",
+  bench::BenchEnv env(argc, argv, "fig01", "Figure 1",
                       "Out-of-core state: cliff vs graceful scaling");
   util::Table table(
       {"MTuples/rel", "CPU Radix Join", "GPU NPJ", "GPU Triton Join"});
 
   for (double m : env.SizeSweep()) {
     uint64_t n = env.Tuples(m);
-    auto measure = [&](auto&& make_join) {
-      auto stat = bench::Repeat(env.runs(), [&](uint64_t rep) {
+    auto measure = [&](const char* series, auto&& make_join) {
+      bench::Measurement meas;
+      for (int64_t rep = 0; rep < env.runs(); ++rep) {
         exec::Device dev(env.hw());
         data::WorkloadConfig cfg;
         cfg.r_tuples = n;
         cfg.s_tuples = n;
-        cfg.seed = 7 + rep;
+        cfg.seed = 7 + static_cast<uint64_t>(rep);
         auto wl = data::GenerateWorkload(dev.allocator(), cfg);
         CHECK_OK(wl.status());
         auto run = make_join().Run(dev, wl->r, wl->s);
         CHECK_OK(run.status());
-        return run->Throughput(n, n);
-      });
-      return bench::GTuples(stat.mean());
+        meas.AddRun(run->elapsed, run->Throughput(n, n) / 1e9, run->totals);
+      }
+      env.reporter().Add({.series = series,
+                          .axis = "mtuples_per_relation",
+                          .x = m,
+                          .has_x = true,
+                          .unit = "gtuples_per_s",
+                          .m = meas});
+      return util::FormatDouble(meas.value.mean(), 3);
     };
 
     table.AddRow(
         {util::FormatDouble(m, 0),
-         measure([&] {
+         measure("CPU Radix Join", [&] {
            return join::CpuRadixJoin({.scheme = join::HashScheme::kPerfect});
          }),
-         measure([&] {
+         measure("GPU NPJ", [&] {
            return join::NoPartitioningJoin(
                {.scheme = join::HashScheme::kPerfect});
          }),
-         measure([&] {
+         measure("GPU Triton Join", [&] {
            return core::TritonJoin({.scheme = join::HashScheme::kPerfect});
          })});
     std::printf(".");
@@ -57,7 +64,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n");
   env.Emit(table, "Throughput (G Tuples/s): cliff vs graceful degradation");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

@@ -19,20 +19,24 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 4",
-                      "Partitioning throughput by processor and destination");
+  bench::BenchEnv env(argc, argv, "fig04", "Figure 4",
+                      "Partitioning throughput by processor and destination",
+                      {"mtuples", "bits"});
   const uint64_t n = env.Tuples(env.flags().GetDouble("mtuples", 960));
   const uint32_t bits = static_cast<uint32_t>(env.flags().GetInt("bits", 9));
 
   util::Table table({"partitioner", "destination", "GiB/s"});
 
   auto run_case = [&](bool gpu_partitioner, bool gpu_dest) {
-    auto stat = bench::Repeat(env.runs(), [&](uint64_t rep) {
+    const char* series = gpu_partitioner ? "GPU (Hierarchical)" : "CPU (SWWC)";
+    const char* dest = gpu_dest ? "GPU memory" : "CPU memory";
+    bench::Measurement meas;
+    for (int64_t rep = 0; rep < env.runs(); ++rep) {
       exec::Device dev(env.hw());
       data::WorkloadConfig cfg;
       cfg.r_tuples = n;
       cfg.s_tuples = 1024;
-      cfg.seed = 3 + rep;
+      cfg.seed = 3 + static_cast<uint64_t>(rep);
       auto wl = data::GenerateWorkload(dev.allocator(), cfg);
       CHECK_OK(wl.status());
       partition::ColumnInput input = partition::ColumnInput::Of(wl->r);
@@ -53,19 +57,25 @@ int Main(int argc, char** argv) {
         run = p.PartitionColumns(dev, input, layout, *out, {});
       }
       double in_bytes = static_cast<double>(n) * sizeof(partition::Tuple);
-      return in_bytes / run.Elapsed();
-    });
-    return util::FormatDouble(stat.mean() / static_cast<double>(util::kGiB),
-                              1);
+      meas.AddRun(run.Elapsed(),
+                  in_bytes / run.Elapsed() / static_cast<double>(util::kGiB),
+                  run.record.counters);
+    }
+    env.reporter().Add({.series = series,
+                        .axis = "destination",
+                        .label = dest,
+                        .unit = "gib_per_s",
+                        .m = meas});
+    table.AddRow({series, dest, util::FormatDouble(meas.value.mean(), 1)});
   };
 
-  table.AddRow({"GPU (Hierarchical)", "GPU memory", run_case(true, true)});
-  table.AddRow({"GPU (Hierarchical)", "CPU memory", run_case(true, false)});
-  table.AddRow({"CPU (SWWC)", "GPU memory", run_case(false, true)});
-  table.AddRow({"CPU (SWWC)", "CPU memory", run_case(false, false)});
+  run_case(true, true);
+  run_case(true, false);
+  run_case(false, true);
+  run_case(false, false);
 
   env.Emit(table, "Partitioning throughput, 512-way, input in CPU memory");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

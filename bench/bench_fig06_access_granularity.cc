@@ -15,10 +15,11 @@
 namespace triton {
 namespace {
 
-/// Runs the random-access kernel at one granularity; returns GiB/s of
-/// payload, matching the paper's metric.
-double MeasureBandwidth(const sim::HwSpec& hw, uint64_t granularity,
-                        bool is_write, uint64_t misalign) {
+/// Runs the random-access kernel at one granularity; returns a Measurement
+/// whose value is GiB/s of payload, matching the paper's metric.
+bench::Measurement MeasureBandwidth(const sim::HwSpec& hw,
+                                    uint64_t granularity, bool is_write,
+                                    uint64_t misalign) {
   exec::Device dev(hw);
   // The paper uses a 1 GiB array — an eighth of the 8 GiB TLB coverage, so
   // address translation never interferes with the bandwidth measurement.
@@ -42,30 +43,53 @@ double MeasureBandwidth(const sim::HwSpec& hw, uint64_t granularity,
     }
   });
   double payload = static_cast<double>(accesses * granularity);
-  return payload / rec.Elapsed() / static_cast<double>(util::kGiB);
+  bench::Measurement meas;
+  meas.AddRun(rec.Elapsed(),
+              payload / rec.Elapsed() / static_cast<double>(util::kGiB),
+              rec.counters);
+  return meas;
 }
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 6",
+  bench::BenchEnv env(argc, argv, "fig06", "Figure 6",
                       "Interconnect bandwidth vs access granularity");
+
+  auto report = [&](const char* series, const char* axis, double x,
+                    const char* label, bench::Measurement meas) {
+    env.reporter().Add({.series = series,
+                        .axis = axis,
+                        .x = x,
+                        .has_x = true,
+                        .label = label,
+                        .unit = "gib_per_s",
+                        .m = meas});
+    return util::FormatDouble(meas.value.mean(), 1);
+  };
 
   util::Table a({"bytes", "read GiB/s", "write GiB/s"});
   for (uint64_t g : {4, 8, 16, 32, 64, 128, 256, 512}) {
+    double x = static_cast<double>(g);
     a.AddRow({std::to_string(g),
-              util::FormatDouble(MeasureBandwidth(env.hw(), g, false, 0), 1),
-              util::FormatDouble(MeasureBandwidth(env.hw(), g, true, 0), 1)});
+              report("read", "granularity_bytes", x, "",
+                     MeasureBandwidth(env.hw(), g, false, 0)),
+              report("write", "granularity_bytes", x, "",
+                     MeasureBandwidth(env.hw(), g, true, 0))});
   }
   env.Emit(a, "(a) Random access granularity (aligned)");
 
   util::Table b({"alignment", "read GiB/s", "write GiB/s"});
   b.AddRow({"none (512B +16)",
-            util::FormatDouble(MeasureBandwidth(env.hw(), 512, false, 16), 1),
-            util::FormatDouble(MeasureBandwidth(env.hw(), 512, true, 16), 1)});
+            report("read", "misalign_bytes", 16, "none (512B +16)",
+                   MeasureBandwidth(env.hw(), 512, false, 16)),
+            report("write", "misalign_bytes", 16, "none (512B +16)",
+                   MeasureBandwidth(env.hw(), 512, true, 16))});
   b.AddRow({"cacheline (512B)",
-            util::FormatDouble(MeasureBandwidth(env.hw(), 512, false, 0), 1),
-            util::FormatDouble(MeasureBandwidth(env.hw(), 512, true, 0), 1)});
+            report("read", "misalign_bytes", 0, "cacheline (512B)",
+                   MeasureBandwidth(env.hw(), 512, false, 0)),
+            report("write", "misalign_bytes", 0, "cacheline (512B)",
+                   MeasureBandwidth(env.hw(), 512, true, 0))});
   env.Emit(b, "(b) Alignment effect on 512-byte accesses");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

@@ -19,12 +19,13 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 7",
+  bench::BenchEnv env(argc, argv, "fig07", "Figure 7",
                       "TLB miss latency vs memory range (pointer chasing)");
   const double scale = static_cast<double>(env.scale());
 
   auto run_side = [&](bool gpu_mem, const std::vector<double>& ranges_gib,
                       const char* title) {
+    const char* side = gpu_mem ? "gpu_mem" : "cpu_mem";
     util::Table table({"range (paper GiB)", "stride 16 MiB", "stride 32 MiB",
                        "stride 64 MiB"});
     for (double gib : ranges_gib) {
@@ -48,18 +49,30 @@ int Main(int argc, char** argv) {
         const uint64_t chases = 50000;
         double latency_sum = 0.0;
         uint64_t count = 0;
-        dev.Launch({.name = "chase", .sms = 1, .occupancy_warps_per_sm = 1,
-                    .latency_bound = true},
-                   [&](exec::KernelContext& ctx) {
-                     uint64_t pos = 0;
-                     for (uint64_t i = 0; i < chases; ++i) {
-                       ctx.ReadRand(*buf, pos, 8);
-                       pos = (pos + stride) % range;
-                     }
-                     latency_sum = ctx.random_latency_sum();
-                     count = ctx.random_accesses();
-                   });
-        row.push_back(util::FormatDouble(latency_sum / count * 1e9, 0));
+        auto rec = dev.Launch(
+            {.name = "chase", .sms = 1, .occupancy_warps_per_sm = 1,
+             .latency_bound = true},
+            [&](exec::KernelContext& ctx) {
+              uint64_t pos = 0;
+              for (uint64_t i = 0; i < chases; ++i) {
+                ctx.ReadRand(*buf, pos, 8);
+                pos = (pos + stride) % range;
+              }
+              latency_sum = ctx.random_latency_sum();
+              count = ctx.random_accesses();
+            });
+        double ns = latency_sum / static_cast<double>(count) * 1e9;
+        bench::Measurement meas;
+        meas.AddRun(rec.Elapsed(), ns, rec.counters);
+        env.reporter().Add(
+            {.series = std::string(side) + "/stride" +
+                       util::FormatDouble(stride_mib, 0) + "MiB",
+             .axis = "range_gib",
+             .x = gib,
+             .has_x = true,
+             .unit = "ns",
+             .m = meas});
+        row.push_back(util::FormatDouble(ns, 0));
       }
       table.AddRow(row);
     }
@@ -71,7 +84,7 @@ int Main(int argc, char** argv) {
   run_side(false, {1.0, 4.0, 8.0, 9.5, 16.0, 24.0, 32.0, 37.0, 48.0, 64.0,
                    87.5},
            "(b) CPU memory: latency (ns); L3 TLB* to 32 GiB, Miss* beyond");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

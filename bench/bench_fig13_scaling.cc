@@ -24,7 +24,7 @@ namespace {
 using bench::BenchEnv;
 
 int Main(int argc, char** argv) {
-  BenchEnv env(argc, argv, "Figure 13",
+  BenchEnv env(argc, argv, "fig13", "Figure 13",
                "Scaling the build-side relation (|R| = |S|)");
   sim::CpuSpec xeon = sim::HwSpec::XeonGold6126();
 
@@ -36,52 +36,61 @@ int Main(int argc, char** argv) {
     uint64_t n = env.Tuples(m);
     std::vector<std::string> row = {util::FormatDouble(m, 0)};
 
-    auto throughput = [&](auto&& make_join) {
-      auto stat = bench::Repeat(env.runs(), [&](uint64_t rep) {
+    auto throughput = [&](const char* series, auto&& make_join) {
+      bench::Measurement meas;
+      for (int64_t rep = 0; rep < env.runs(); ++rep) {
         exec::Device dev(env.hw());
         data::WorkloadConfig cfg;
         cfg.r_tuples = n;
         cfg.s_tuples = n;
-        cfg.seed = 42 + rep;
+        cfg.seed = 42 + static_cast<uint64_t>(rep);
         auto wl = data::GenerateWorkload(dev.allocator(), cfg);
         CHECK_OK(wl.status());
         auto run = make_join().Run(dev, wl->r, wl->s);
         CHECK_OK(run.status());
         CHECK_EQ(run->matches, n);
-        return run->Throughput(n, n);
-      });
-      return bench::GTuples(stat.mean());
+        meas.AddRun(run->elapsed, run->Throughput(n, n) / 1e9, run->totals);
+      }
+      env.reporter().Add({.series = series,
+                          .axis = "mtuples_per_relation",
+                          .x = m,
+                          .has_x = true,
+                          .unit = "gtuples_per_s",
+                          .m = meas});
+      return util::FormatDouble(meas.value.mean(), 3);
     };
 
-    row.push_back(throughput([&] {
+    row.push_back(throughput("CPU-P9-chain", [&] {
       return join::CpuRadixJoin(
           {.scheme = join::HashScheme::kBucketChaining});
     }));
-    row.push_back(throughput(
-        [&] { return join::CpuRadixJoin({.scheme = join::HashScheme::kPerfect}); }));
-    row.push_back(throughput([&] {
+    row.push_back(throughput("CPU-P9-perfect", [&] {
+      return join::CpuRadixJoin({.scheme = join::HashScheme::kPerfect});
+    }));
+    row.push_back(throughput("CPU-Xeon-chain", [&] {
       return join::CpuRadixJoin(
           {.scheme = join::HashScheme::kBucketChaining, .cpu = &xeon});
     }));
-    row.push_back(throughput([&] {
+    row.push_back(throughput("NPJ-perfect", [&] {
       return join::NoPartitioningJoin({.scheme = join::HashScheme::kPerfect});
     }));
-    row.push_back(throughput([&] {
+    row.push_back(throughput("NPJ-linear", [&] {
       return join::NoPartitioningJoin(
           {.scheme = join::HashScheme::kLinearProbing});
     }));
-    row.push_back(throughput([&] {
+    row.push_back(throughput("Triton-chain", [&] {
       return core::TritonJoin({.scheme = join::HashScheme::kBucketChaining});
     }));
-    row.push_back(throughput(
-        [&] { return core::TritonJoin({.scheme = join::HashScheme::kPerfect}); }));
+    row.push_back(throughput("Triton-perfect", [&] {
+      return core::TritonJoin({.scheme = join::HashScheme::kPerfect});
+    }));
     table.AddRow(row);
     std::printf(".");
     std::fflush(stdout);
   }
   std::printf("\n");
   env.Emit(table, "Join throughput (G Tuples/s) vs relation size");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 14",
+  bench::BenchEnv env(argc, argv, "fig14", "Figure 14",
                       "Interconnect utilization and IOMMU requests");
   util::Table table({"workload", "algorithm", "link util %",
                      "IOMMU req/tuple"});
@@ -40,6 +40,17 @@ int Main(int argc, char** argv) {
       char req[32];
       std::snprintf(req, sizeof(req), "%.2e",
                     run->totals.IommuRequestsPerTuple());
+      bench::Measurement meas;
+      meas.AddRun(run->elapsed, util * 100.0, run->totals);
+      env.reporter().Add(
+          {.series = name,
+           .axis = "mtuples_per_relation",
+           .x = m,
+           .has_x = true,
+           .unit = "link_util_pct",
+           .m = meas,
+           .extra = {{"iommu_req_per_tuple",
+                      run->totals.IommuRequestsPerTuple()}}});
       table.AddRow({util::FormatDouble(m, 0) + " M", name,
                     util::FormatDouble(util * 100.0, 1), req});
     };
@@ -61,7 +72,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n");
   env.Emit(table, "Interconnect usage of join algorithms");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

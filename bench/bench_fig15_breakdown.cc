@@ -17,7 +17,7 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 15",
+  bench::BenchEnv env(argc, argv, "fig15", "Figure 15",
                       "Time breakdown of the Triton join");
   static const char* kPhases[] = {"prefix_sum1", "partition1", "prefix_sum2",
                                   "partition2",  "sched",      "join"};
@@ -50,14 +50,27 @@ int Main(int argc, char** argv) {
     for (const char* ph : kPhases) {
       double t = 0.0, link = 0.0, comp = 0.0;
       const char* b = "-";
+      sim::PerfCounters phase_counters;
       for (const auto& rec : run->phases) {
         if (rec.name.find(ph) == std::string::npos) continue;
         t += rec.Elapsed();
         link += std::max({rec.time.link, rec.time.tlb, rec.time.cpu_mem});
         comp += std::max(rec.time.compute, rec.time.gpu_mem);
         b = rec.time.Bottleneck();
+        phase_counters.Merge(rec.counters);
       }
       if (t == 0.0) continue;
+      bench::Measurement meas;
+      meas.AddRun(t, run->PhaseTime(ph) / total * 100.0, phase_counters);
+      env.reporter().Add({.series = ph,
+                          .axis = "mtuples_per_relation",
+                          .x = m,
+                          .has_x = true,
+                          .label = b,
+                          .unit = "pct_of_total_time",
+                          .m = meas,
+                          .extra = {{"link_pct", link / t * 100.0},
+                                    {"compute_pct", comp / t * 100.0}}});
       bound.AddRow({util::FormatDouble(m, 0) + " M", ph, b,
                     util::FormatDouble(link / t * 100, 0),
                     util::FormatDouble(comp / t * 100, 0)});
@@ -68,7 +81,7 @@ int Main(int argc, char** argv) {
   std::printf("\n");
   env.Emit(share, "(a) Kernel share of total time (%)");
   env.Emit(bound, "(b) Bottleneck attribution per kernel");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

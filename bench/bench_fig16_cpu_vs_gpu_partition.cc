@@ -17,7 +17,7 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 16",
+  bench::BenchEnv env(argc, argv, "fig16", "Figure 16",
                       "CPU-partitioned vs GPU-partitioned join");
 
   util::Table joins({"workload", "CPU-partitioned G/s", "Triton G/s",
@@ -55,13 +55,37 @@ int Main(int argc, char** argv) {
         {util::FormatDouble(m, 0) + " M",
          util::FormatDouble(in_bytes / cpu_part / util::kGiB, 1),
          util::FormatDouble(in_bytes / gpu_part / util::kGiB, 1)});
+
+    bench::Measurement cpu_meas;
+    cpu_meas.AddRun(cpu_run->elapsed, cpu_tp / 1e9, cpu_run->totals);
+    env.reporter().Add(
+        {.series = "CPU-partitioned",
+         .axis = "mtuples_per_relation",
+         .x = m,
+         .has_x = true,
+         .unit = "gtuples_per_s",
+         .m = cpu_meas,
+         .extra = {{"partition_gib_per_s",
+                    in_bytes / cpu_part / static_cast<double>(util::kGiB)}}});
+    bench::Measurement gpu_meas;
+    gpu_meas.AddRun(gpu_run->elapsed, gpu_tp / 1e9, gpu_run->totals);
+    env.reporter().Add(
+        {.series = "Triton",
+         .axis = "mtuples_per_relation",
+         .x = m,
+         .has_x = true,
+         .unit = "gtuples_per_s",
+         .m = gpu_meas,
+         .extra = {{"partition_gib_per_s",
+                    in_bytes / gpu_part / static_cast<double>(util::kGiB)},
+                   {"speedup_vs_cpu", gpu_tp / cpu_tp}}});
     std::printf(".");
     std::fflush(stdout);
   }
   std::printf("\n");
   env.Emit(joins, "(a) End-to-end join throughput");
   env.Emit(parts, "(b) First-pass partitioning throughput");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

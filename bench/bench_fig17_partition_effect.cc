@@ -21,7 +21,7 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 17",
+  bench::BenchEnv env(argc, argv, "fig17", "Figure 17",
                       "Partitioning algorithm effect on the radix join");
   util::Table table(
       {"MTuples/rel", "Standard", "Linear", "Shared", "Hierarchical"});
@@ -30,13 +30,18 @@ int Main(int argc, char** argv) {
   partition::LinearPartitioner linear;
   partition::SharedPartitioner shared;
   partition::HierarchicalPartitioner hierarchical;
-  partition::GpuPartitioner* algos[] = {&standard, &linear, &shared,
-                                        &hierarchical};
+  struct Algo {
+    const char* name;
+    partition::GpuPartitioner* p;
+  } algos[] = {{"Standard", &standard},
+               {"Linear", &linear},
+               {"Shared", &shared},
+               {"Hierarchical", &hierarchical}};
 
   for (double m : env.SizeSweep()) {
     uint64_t n = env.Tuples(m);
     std::vector<std::string> row = {util::FormatDouble(m, 0)};
-    for (partition::GpuPartitioner* algo : algos) {
+    for (const Algo& algo : algos) {
       exec::Device dev(env.hw());
       data::WorkloadConfig cfg;
       cfg.r_tuples = n;
@@ -45,11 +50,19 @@ int Main(int argc, char** argv) {
       CHECK_OK(wl.status());
       core::TritonJoin join({.result_mode = join::ResultMode::kAggregate,
                              .cache_bytes = 0,
-                             .pass1 = algo});
+                             .pass1 = algo.p});
       auto run = join.Run(dev, wl->r, wl->s);
       CHECK_OK(run.status());
       CHECK_EQ(run->matches, n);
-      row.push_back(bench::GTuples(run->Throughput(n, n)));
+      bench::Measurement meas;
+      meas.AddRun(run->elapsed, run->Throughput(n, n) / 1e9, run->totals);
+      env.reporter().Add({.series = algo.name,
+                          .axis = "mtuples_per_relation",
+                          .x = m,
+                          .has_x = true,
+                          .unit = "gtuples_per_s",
+                          .m = meas});
+      row.push_back(util::FormatDouble(meas.value.mean(), 3));
     }
     table.AddRow(row);
     std::printf(".");
@@ -57,7 +70,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n");
   env.Emit(table, "Radix join throughput (G Tuples/s) by 1st-pass algorithm");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

@@ -25,8 +25,9 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 18",
-                      "Partitioning algorithm profiling vs fanout");
+  bench::BenchEnv env(argc, argv, "fig18", "Figure 18",
+                      "Partitioning algorithm profiling vs fanout",
+                      {"mtuples", "fanouts"});
   // ~60 GiB at paper scale (~3840 M 16-byte tuples): roughly twice the
   // 32 GiB translation reach, as in the paper.
   uint64_t n = env.Tuples(env.flags().GetDouble("mtuples", 3840));
@@ -88,6 +89,20 @@ int Main(int argc, char** argv) {
       double issue = run.record.time.compute / run.Elapsed() * 100.0;
       char req[32];
       std::snprintf(req, sizeof(req), "%.2e", c.IommuRequestsPerTuple());
+      bench::Measurement meas;
+      meas.AddRun(run.Elapsed(), gibs, c);
+      env.reporter().Add(
+          {.series = algo.name,
+           .axis = "fanout",
+           .x = static_cast<double>(fanout),
+           .has_x = true,
+           .label = run.record.time.Bottleneck(),
+           .unit = "gib_per_s",
+           .m = meas,
+           .extra = {{"tuples_per_write_txn", run.TuplesPerWriteTxn()},
+                     {"transfer_gib", transfer},
+                     {"iommu_req_per_tuple", c.IommuRequestsPerTuple()},
+                     {"issue_slot_pct", issue}}});
       table.AddRow({algo.name, std::to_string(fanout),
                     util::FormatDouble(gibs, 1),
                     util::FormatDouble(run.TuplesPerWriteTxn(), 2),
@@ -104,7 +119,7 @@ int Main(int argc, char** argv) {
               "read+write ideal is %.1f GiB\n",
               2.0 * static_cast<double>(n) * 16.0 *
                   static_cast<double>(env.scale()) / util::kGiB);
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

@@ -20,7 +20,7 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 19",
+  bench::BenchEnv env(argc, argv, "fig19", "Figure 19",
                       "Scaling the GPU memory cache size");
   std::vector<double> cache_gib =
       env.quick() ? std::vector<double>{0, 4, 8, 14.9}
@@ -56,6 +56,23 @@ int Main(int argc, char** argv) {
         auto l = linear.Run(dev, wl->r, wl->s);
         CHECK_OK(p.status());
         CHECK_OK(l.status());
+        const std::string workload = util::FormatDouble(m, 0) + "M";
+        bench::Measurement pm;
+        pm.AddRun(p->elapsed, p->Throughput(n, n) / 1e9, p->totals);
+        env.reporter().Add({.series = "NPJ-perfect/" + workload,
+                            .axis = "cache_gib",
+                            .x = gib,
+                            .has_x = true,
+                            .unit = "gtuples_per_s",
+                            .m = pm});
+        bench::Measurement lm;
+        lm.AddRun(l->elapsed, l->Throughput(n, n) / 1e9, l->totals);
+        env.reporter().Add({.series = "NPJ-linear/" + workload,
+                            .axis = "cache_gib",
+                            .x = gib,
+                            .has_x = true,
+                            .unit = "gtuples_per_s",
+                            .m = lm});
         npj.AddRow({util::FormatDouble(m, 0) + " M",
                     util::FormatDouble(gib, 1),
                     bench::GTuples(p->Throughput(n, n)),
@@ -72,6 +89,16 @@ int Main(int argc, char** argv) {
                                .cache_bytes = cache});
         auto run = join.Run(dev, wl->r, wl->s);
         CHECK_OK(run.status());
+        bench::Measurement tm;
+        tm.AddRun(run->elapsed, run->Throughput(n, n) / 1e9, run->totals);
+        env.reporter().Add(
+            {.series = "Triton/" + util::FormatDouble(m, 0) + "M",
+             .axis = "cache_gib",
+             .x = gib,
+             .has_x = true,
+             .unit = "gtuples_per_s",
+             .m = tm,
+             .extra = {{"cached_fraction", join.stats().cached_fraction}}});
         triton.AddRow({util::FormatDouble(m, 0) + " M",
                        util::FormatDouble(gib, 1),
                        bench::GTuples(run->Throughput(n, n)),
@@ -84,7 +111,7 @@ int Main(int argc, char** argv) {
   std::printf("\n");
   env.Emit(npj, "(a) GPU no-partitioning join vs hash-table cache size");
   env.Emit(triton, "(b) GPU Triton join vs state cache size");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

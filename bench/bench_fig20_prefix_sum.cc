@@ -18,7 +18,8 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 20", "Prefix sum: CPU vs GPU");
+  bench::BenchEnv env(argc, argv, "fig20", "Figure 20",
+                      "Prefix sum: CPU vs GPU");
 
   util::Table joins({"workload", "Triton w/ CPU PS (G/s)",
                      "Triton w/ GPU PS (G/s)"});
@@ -43,6 +44,22 @@ int Main(int argc, char** argv) {
     joins.AddRow({util::FormatDouble(m, 0) + " M",
                   bench::GTuples(a->Throughput(n, n)),
                   bench::GTuples(b->Throughput(n, n))});
+    bench::Measurement am;
+    am.AddRun(a->elapsed, a->Throughput(n, n) / 1e9, a->totals);
+    env.reporter().Add({.series = "Triton w/ CPU prefix sum",
+                        .axis = "mtuples_per_relation",
+                        .x = m,
+                        .has_x = true,
+                        .unit = "gtuples_per_s",
+                        .m = am});
+    bench::Measurement bm;
+    bm.AddRun(b->elapsed, b->Throughput(n, n) / 1e9, b->totals);
+    env.reporter().Add({.series = "Triton w/ GPU prefix sum",
+                        .axis = "mtuples_per_relation",
+                        .x = m,
+                        .has_x = true,
+                        .unit = "gtuples_per_s",
+                        .m = bm});
 
     // Standalone prefix sums over the key column of R.
     partition::ColumnInput input = partition::ColumnInput::Of(wl->r);
@@ -56,13 +73,29 @@ int Main(int argc, char** argv) {
     sums.AddRow({util::FormatDouble(m, 0) + " M",
                  util::FormatDouble(key_bytes / t_cpu / util::kGiB, 1),
                  util::FormatDouble(key_bytes / t_gpu / util::kGiB, 1)});
+    bench::Measurement cm;
+    cm.AddRun(t_cpu, key_bytes / t_cpu / static_cast<double>(util::kGiB));
+    env.reporter().Add({.series = "CPU prefix sum",
+                        .axis = "mtuples_per_relation",
+                        .x = m,
+                        .has_x = true,
+                        .unit = "gib_per_s",
+                        .m = cm});
+    bench::Measurement gm;
+    gm.AddRun(t_gpu, key_bytes / t_gpu / static_cast<double>(util::kGiB));
+    env.reporter().Add({.series = "GPU prefix sum",
+                        .axis = "mtuples_per_relation",
+                        .x = m,
+                        .has_x = true,
+                        .unit = "gib_per_s",
+                        .m = gm});
     std::printf(".");
     std::fflush(stdout);
   }
   std::printf("\n");
   env.Emit(joins, "(a) End-to-end Triton join by prefix-sum processor");
   env.Emit(sums, "(b) Standalone prefix-sum throughput (key column only)");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 21",
+  bench::BenchEnv env(argc, argv, "fig21", "Figure 21",
                       "Build-to-probe ratios at constant data volume");
   util::Table table({"workload", "R:S", "NPJ-perfect", "NPJ-linear",
                      "Triton-chain"});
@@ -29,7 +29,7 @@ int Main(int argc, char** argv) {
     for (int ratio : {1, 2, 4, 8, 16, 32}) {
       uint64_t r = total / (1 + ratio);
       uint64_t s = total - r;
-      auto measure = [&](auto&& make_join) {
+      auto measure = [&](const char* series, auto&& make_join) {
         exec::Device dev(env.hw());
         data::WorkloadConfig cfg;
         cfg.r_tuples = r;
@@ -38,21 +38,34 @@ int Main(int argc, char** argv) {
         CHECK_OK(wl.status());
         auto run = make_join().Run(dev, wl->r, wl->s);
         CHECK_OK(run.status());
-        return bench::GTuples(run->Throughput(r, s));
+        bench::Measurement meas;
+        meas.AddRun(run->elapsed, run->Throughput(r, s) / 1e9, run->totals);
+        env.reporter().Add(
+            {.series = std::string(series) + "/" + util::FormatDouble(m, 0) +
+                       "M",
+             .axis = "ratio",
+             .x = static_cast<double>(ratio),
+             .has_x = true,
+             .label = "1:" + std::to_string(ratio),
+             .unit = "gtuples_per_s",
+             .m = meas});
+        return util::FormatDouble(meas.value.mean(), 3);
       };
       table.AddRow(
           {util::FormatDouble(m, 0) + " M", "1:" + std::to_string(ratio),
-           measure([&] {
-             return join::NoPartitioningJoin(
-                 {.scheme = join::HashScheme::kPerfect,
-                  .result_mode = join::ResultMode::kAggregate});
-           }),
-           measure([&] {
-             return join::NoPartitioningJoin(
-                 {.scheme = join::HashScheme::kLinearProbing,
-                  .result_mode = join::ResultMode::kAggregate});
-           }),
-           measure([&] {
+           measure("NPJ-perfect",
+                   [&] {
+                     return join::NoPartitioningJoin(
+                         {.scheme = join::HashScheme::kPerfect,
+                          .result_mode = join::ResultMode::kAggregate});
+                   }),
+           measure("NPJ-linear",
+                   [&] {
+                     return join::NoPartitioningJoin(
+                         {.scheme = join::HashScheme::kLinearProbing,
+                          .result_mode = join::ResultMode::kAggregate});
+                   }),
+           measure("Triton", [&] {
              return core::TritonJoin(
                  {.result_mode = join::ResultMode::kAggregate});
            })});
@@ -62,7 +75,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n");
   env.Emit(table, "Throughput (G Tuples/s) vs build:probe ratio");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

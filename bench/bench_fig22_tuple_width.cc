@@ -18,7 +18,7 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 22",
+  bench::BenchEnv env(argc, argv, "fig22", "Figure 22",
                       "Materializing wide tuples (late materialization)");
   util::Table table({"workload", "payload attrs", "G Tuples/s"});
 
@@ -74,6 +74,14 @@ int Main(int argc, char** argv) {
         elapsed += rec.Elapsed();
       }
       double tp = static_cast<double>(2 * n) / elapsed;
+      bench::Measurement meas;
+      meas.AddRun(elapsed, tp / 1e9, run->totals);
+      env.reporter().Add({.series = util::FormatDouble(m, 0) + "M",
+                          .axis = "payload_attrs",
+                          .x = static_cast<double>(payloads),
+                          .has_x = true,
+                          .unit = "gtuples_per_s",
+                          .m = meas});
       table.AddRow({util::FormatDouble(m, 0) + " M", std::to_string(payloads),
                     bench::GTuples(tp)});
       std::printf(".");
@@ -82,7 +90,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n");
   env.Emit(table, "Join + late materialization vs payload width");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

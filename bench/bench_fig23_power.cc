@@ -23,7 +23,8 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 23", "Performance per Watt");
+  bench::BenchEnv env(argc, argv, "fig23", "Figure 23",
+                      "Performance per Watt");
   const sim::HwSpec& hw = env.hw();
 
   const double cpu_watts = hw.cpu.load_watts - 60.0;  // load-idle delta
@@ -53,13 +54,24 @@ int Main(int argc, char** argv) {
     CHECK_OK(b.status());
     CHECK_OK(c.status());
 
-    auto eff = [&](double tp, double watts) {
+    auto eff = [&](const char* series, const join::JoinRun& run,
+                   double watts) {
+      double tp = run.Throughput(n, n);
+      bench::Measurement meas;
+      meas.AddRun(run.elapsed, tp / 1e6 / watts, run.totals);
+      env.reporter().Add({.series = series,
+                          .axis = "mtuples_per_relation",
+                          .x = m,
+                          .has_x = true,
+                          .unit = "mtuples_per_s_per_w",
+                          .m = meas,
+                          .extra = {{"watts", watts}}});
       return util::FormatDouble(tp / 1e6 / watts, 1);
     };
     table.AddRow({util::FormatDouble(m, 0) + " M",
-                  eff(a->Throughput(n, n), cpu_watts),
-                  eff(b->Throughput(n, n), gpu_watts),
-                  eff(c->Throughput(n, n), gpu_watts)});
+                  eff("CPU radix", *a, cpu_watts),
+                  eff("GPU NPJ", *b, gpu_watts),
+                  eff("GPU Triton", *c, gpu_watts)});
     std::printf(".");
     std::fflush(stdout);
   }
@@ -67,7 +79,7 @@ int Main(int argc, char** argv) {
   env.Emit(table, "Power efficiency (M Tuples/s per Watt)");
   std::printf("power model: CPU join %.0f W, GPU joins %.0f W (see header)\n",
               cpu_watts, gpu_watts);
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

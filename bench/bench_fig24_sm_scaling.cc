@@ -18,7 +18,7 @@ namespace triton {
 namespace {
 
 int Main(int argc, char** argv) {
-  bench::BenchEnv env(argc, argv, "Figure 24",
+  bench::BenchEnv env(argc, argv, "fig24", "Figure 24",
                       "Throughput vs streaming multiprocessors");
   std::vector<int64_t> sms_sweep =
       env.quick() ? std::vector<int64_t>{5, 25, 55, 80}
@@ -28,7 +28,17 @@ int Main(int argc, char** argv) {
   util::Table breakdown({"SMs", "Part1 bound", "Part2 bound",
                          "Part1 ms", "Part2 ms", "Join ms"});
 
+  // Points are emitted after the sweep: the reported value is % of the
+  // per-workload peak, which needs the full sweep first.
+  struct Cell {
+    double elapsed = 0;
+    double tp = 0;
+    sim::PerfCounters counters;
+    std::string label;
+    std::vector<std::pair<std::string, double>> extra;
+  };
   std::vector<std::vector<double>> tp(3);
+  std::vector<std::vector<Cell>> cells(3);
   for (int64_t sms : sms_sweep) {
     std::vector<double> row;
     int wi = 0;
@@ -45,7 +55,10 @@ int Main(int argc, char** argv) {
       auto run = join.Run(dev, wl->r, wl->s);
       CHECK_OK(run.status());
       tp[wi].push_back(run->Throughput(n, n));
-      ++wi;
+      Cell cell;
+      cell.elapsed = run->elapsed;
+      cell.tp = run->Throughput(n, n);
+      cell.counters = run->totals;
 
       // Breakdown for the 512 M workload, as in the paper.
       if (m == 512.0) {
@@ -59,29 +72,47 @@ int Main(int argc, char** argv) {
             p2_bound = rec.time.Bottleneck();
           }
         }
+        cell.label = std::string(p1_bound) + "/" + p2_bound;
+        cell.extra = {{"part1_ms", run->PhaseTime("partition1") * 1e3},
+                      {"part2_ms", run->PhaseTime("partition2") * 1e3},
+                      {"join_ms", run->PhaseTime("join") * 1e3}};
         breakdown.AddRow(
             {std::to_string(sms), p1_bound, p2_bound,
              util::FormatDouble(run->PhaseTime("partition1") * 1e3, 2),
              util::FormatDouble(run->PhaseTime("partition2") * 1e3, 2),
              util::FormatDouble(run->PhaseTime("join") * 1e3, 2)});
       }
+      cells[wi].push_back(std::move(cell));
+      ++wi;
     }
     std::printf(".");
     std::fflush(stdout);
   }
   std::printf("\n");
 
+  static const char* kWorkloads[] = {"128M", "512M", "2048M"};
   for (size_t i = 0; i < sms_sweep.size(); ++i) {
     std::vector<std::string> row = {std::to_string(sms_sweep[i])};
     for (int w = 0; w < 3; ++w) {
       double peak = *std::max_element(tp[w].begin(), tp[w].end());
       row.push_back(util::FormatDouble(tp[w][i] / peak * 100.0, 1));
+      const Cell& cell = cells[w][i];
+      bench::Measurement meas;
+      meas.AddRun(cell.elapsed, cell.tp / peak * 100.0, cell.counters);
+      env.reporter().Add({.series = kWorkloads[w],
+                          .axis = "sms",
+                          .x = static_cast<double>(sms_sweep[i]),
+                          .has_x = true,
+                          .label = cell.label,
+                          .unit = "pct_of_peak",
+                          .m = meas,
+                          .extra = cell.extra});
     }
     table.AddRow(row);
   }
   env.Emit(table, "(a) Throughput as % of peak vs SM count");
   env.Emit(breakdown, "(b) Phase behaviour at 512 M tuples");
-  return 0;
+  return env.Finish();
 }
 
 }  // namespace

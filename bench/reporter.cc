@@ -1,0 +1,164 @@
+#include "bench/reporter.h"
+
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace triton::bench {
+namespace {
+
+/// Serializes a RunningStat as {count, mean, min, max}.
+void WriteStat(util::JsonWriter& w, const util::RunningStat& stat) {
+  w.BeginObject();
+  w.Key("count");
+  w.Uint(stat.count());
+  w.Key("mean");
+  w.Double(stat.mean());
+  w.Key("min");
+  w.Double(stat.min());
+  w.Key("max");
+  w.Double(stat.max());
+  w.EndObject();
+}
+
+/// Serializes all PerfCounters fields in declaration order.
+void WriteCounters(util::JsonWriter& w, const sim::PerfCounters& c) {
+  w.BeginObject();
+  w.Key("gpu_mem_read");
+  w.Uint(c.gpu_mem_read);
+  w.Key("gpu_mem_write");
+  w.Uint(c.gpu_mem_write);
+  w.Key("gpu_mem_random_write");
+  w.Uint(c.gpu_mem_random_write);
+  w.Key("link_read_payload");
+  w.Uint(c.link_read_payload);
+  w.Key("link_read_physical");
+  w.Uint(c.link_read_physical);
+  w.Key("link_write_payload");
+  w.Uint(c.link_write_payload);
+  w.Key("link_write_physical");
+  w.Uint(c.link_write_physical);
+  w.Key("link_read_txns");
+  w.Uint(c.link_read_txns);
+  w.Key("link_write_txns");
+  w.Uint(c.link_write_txns);
+  w.Key("cpu_mem_read");
+  w.Uint(c.cpu_mem_read);
+  w.Key("cpu_mem_write");
+  w.Uint(c.cpu_mem_write);
+  w.Key("gpu_tlb_lookups");
+  w.Uint(c.gpu_tlb_lookups);
+  w.Key("gpu_tlb_misses");
+  w.Uint(c.gpu_tlb_misses);
+  w.Key("l3_hits");
+  w.Uint(c.l3_hits);
+  w.Key("iommu_requests");
+  w.Uint(c.iommu_requests);
+  w.Key("iommu_walks");
+  w.Uint(c.iommu_walks);
+  w.Key("issue_slots");
+  w.Uint(c.issue_slots);
+  w.Key("tuples");
+  w.Uint(c.tuples);
+  w.EndObject();
+}
+
+}  // namespace
+
+void Reporter::Configure(std::string figure_id, std::string figure_name,
+                         std::string title, std::string machine,
+                         int64_t scale, int64_t runs, bool quick) {
+  figure_id_ = std::move(figure_id);
+  figure_name_ = std::move(figure_name);
+  title_ = std::move(title);
+  machine_ = std::move(machine);
+  scale_ = scale;
+  runs_ = runs;
+  quick_ = quick;
+}
+
+std::string Reporter::ToJson() const {
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("figure");
+  w.String(figure_id_);
+  w.Key("name");
+  w.String(figure_name_);
+  w.Key("title");
+  w.String(title_);
+  w.Key("machine");
+  w.String(machine_);
+  w.Key("scale");
+  w.Int(scale_);
+  w.Key("runs");
+  w.Int(runs_);
+  w.Key("quick");
+  w.Bool(quick_);
+  w.Key("points");
+  w.BeginArray();
+  for (const Point& p : points_) {
+    w.BeginObject();
+    w.Key("series");
+    w.String(p.series);
+    if (!p.axis.empty()) {
+      w.Key("axis");
+      w.String(p.axis);
+    }
+    if (p.has_x) {
+      w.Key("x");
+      w.Double(p.x);
+    }
+    if (!p.label.empty()) {
+      w.Key("label");
+      w.String(p.label);
+    }
+    if (!p.unit.empty()) {
+      w.Key("unit");
+      w.String(p.unit);
+    }
+    if (p.m.value.count() > 0) {
+      w.Key("value");
+      WriteStat(w, p.m.value);
+    }
+    if (p.m.seconds.count() > 0) {
+      w.Key("seconds");
+      WriteStat(w, p.m.seconds);
+    }
+    if (!p.extra.empty()) {
+      w.Key("extra");
+      w.BeginObject();
+      for (const auto& [name, value] : p.extra) {
+        w.Key(name);
+        w.Double(value);
+      }
+      w.EndObject();
+    }
+    if (p.m.has_counters) {
+      w.Key("counters");
+      WriteCounters(w, p.m.counters);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+util::Status Reporter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::InvalidArgument("cannot open " + path +
+                                         " for writing");
+  }
+  const std::string doc = ToJson();
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (!ok) {
+    return util::Status::Internal("short write to " + path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace triton::bench

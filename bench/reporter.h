@@ -1,0 +1,108 @@
+// Machine-readable benchmark reports.
+//
+// Every bench binary reproduces one paper figure as a set of *series
+// points* (one measured configuration on one axis position). The Reporter
+// collects those points in structured form next to the human-readable
+// tables and serializes them as one canonical JSON document per figure
+// (BENCH_<figure>.json, written by BenchEnv::Finish when --json is given).
+//
+// Determinism contract: the JSON contains only *modeled* quantities —
+// simulated seconds, figure-unit metrics derived from them, and the
+// PerfCounters record — all of which are bit-identical for any --threads
+// setting and across reruns (see DESIGN.md "Execution model"). Volatile
+// host observations (wall-clock, worker-thread count) are deliberately
+// reported on stdout only, so two runs of the same bench at the same
+// scale/runs/quick settings produce byte-identical files. That property is
+// what lets tools/bench_regress.py diff reports against the committed
+// baselines exactly instead of with noise thresholds.
+
+#ifndef TRITON_BENCH_REPORTER_H_
+#define TRITON_BENCH_REPORTER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/perf_counters.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace triton::bench {
+
+/// One measured cell: modeled seconds and the headline metric across the
+/// --runs repetitions, plus the PerfCounters of the first repetition (each
+/// repetition reseeds the workload, so rep 0 is the deterministic choice).
+struct Measurement {
+  util::RunningStat seconds;
+  util::RunningStat value;
+  sim::PerfCounters counters;
+  bool has_counters = false;
+
+  void AddRun(double modeled_seconds, double metric) {
+    seconds.Add(modeled_seconds);
+    value.Add(metric);
+  }
+  void AddRun(double modeled_seconds, double metric,
+              const sim::PerfCounters& c) {
+    if (!has_counters) {
+      counters = c;
+      has_counters = true;
+    }
+    AddRun(modeled_seconds, metric);
+  }
+};
+
+/// One series point of a figure.
+struct Point {
+  /// Series name: the algorithm or configuration this point belongs to.
+  std::string series = {};
+  /// Name of the swept axis ("mtuples_per_relation", "fanout", ...).
+  std::string axis = {};
+  /// Numeric axis position; has_x=false for purely categorical axes.
+  double x = 0.0;
+  bool has_x = false;
+  /// Categorical axis value or annotation ("GPU memory", "compute", ...).
+  std::string label = {};
+  /// Unit of the headline metric ("gtuples_per_s", "gib_per_s", "ns", ...).
+  std::string unit = {};
+  Measurement m = {};
+  /// Additional named metrics in figure units (insertion order preserved).
+  std::vector<std::pair<std::string, double>> extra = {};
+};
+
+/// Collects the points of one figure and serializes the canonical report.
+class Reporter {
+ public:
+  /// Sets the figure identity and run metadata (called by BenchEnv).
+  void Configure(std::string figure_id, std::string figure_name,
+                 std::string title, std::string machine, int64_t scale,
+                 int64_t runs, bool quick);
+
+  void Add(Point p) { points_.push_back(std::move(p)); }
+
+  const std::string& figure_id() const { return figure_id_; }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Canonical JSON serialization (see DESIGN.md "Benchmark reporting" for
+  /// the schema). Deterministic: byte-identical across reruns and thread
+  /// counts.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  util::Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string figure_id_;
+  std::string figure_name_;
+  std::string title_;
+  std::string machine_;
+  int64_t scale_ = 0;
+  int64_t runs_ = 0;
+  bool quick_ = false;
+  std::vector<Point> points_;
+};
+
+}  // namespace triton::bench
+
+#endif  // TRITON_BENCH_REPORTER_H_

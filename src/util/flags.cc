@@ -23,6 +23,13 @@ Flags::Flags(int argc, char** argv) {
   }
 }
 
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) out.push_back(name);
+  return out;
+}
+
 bool Flags::Has(const std::string& name) const {
   return values_.count(name) > 0;
 }

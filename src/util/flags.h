@@ -36,6 +36,9 @@ class Flags {
   std::vector<int64_t> GetIntList(const std::string& name,
                                   std::vector<int64_t> default_value) const;
 
+  /// Names of every flag present on the command line, sorted.
+  std::vector<std::string> names() const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:

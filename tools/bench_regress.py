@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: byte-exact diff + figure shape checks.
+
+Usage:
+  tools/bench_regress.py --baselines bench/baselines --fresh <dir> [--update]
+
+The simulator's determinism contract (see DESIGN.md, "Benchmark reporting")
+makes every BENCH_<figure>.json bit-identical across reruns and --threads
+settings, so the primary gate is a *byte* comparison against the committed
+baselines — any counter or modeled-time drift shows up as a unified diff.
+
+On top of that, shape checks assert the paper's headline effects on the
+fresh reports (mirroring tests/figures_test.cc): the NPJ collapse once its
+hash table leaves GPU memory, the TLB latency plateaus, the Shared
+partitioner's IOMMU cliff, and the Triton join's cliff-free cache scaling.
+They catch a semantically broken report even when somebody refreshes the
+baselines wholesale.
+
+--update copies the fresh reports over the baselines *after* the shape
+checks pass, so a refreshed baseline can never encode a flattened figure.
+"""
+
+import argparse
+import difflib
+import json
+import math
+import os
+import shutil
+import sys
+
+# Figures every run must produce; a missing report fails the gate.
+EXPECTED_FIGURES = [
+    "fig01", "fig04", "fig06", "fig07", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+    "ablation", "ext_skew", "ext_pcie",
+]
+
+SCHEMA_VERSION = 1
+
+_errors = []
+
+
+def fail(figure, message):
+    _errors.append(f"[{figure}] {message}")
+
+
+# --- report access helpers -------------------------------------------------
+
+
+def series(report, name):
+    """Points of one series, ordered as emitted (axis order)."""
+    return [p for p in report["points"] if p["series"] == name]
+
+
+def series_names(report):
+    seen = []
+    for p in report["points"]:
+        if p["series"] not in seen:
+            seen.append(p["series"])
+    return seen
+
+
+def value(point):
+    return point["value"]["mean"]
+
+
+def at_x(points, x):
+    for p in points:
+        if p.get("x") == x:
+            return p
+    return None
+
+
+# --- generic checks --------------------------------------------------------
+
+
+def check_generic(figure, report):
+    if report.get("schema_version") != SCHEMA_VERSION:
+        fail(figure, f"schema_version {report.get('schema_version')!r}, "
+                     f"want {SCHEMA_VERSION}")
+    if report.get("figure") != figure:
+        fail(figure, f"figure field {report.get('figure')!r} does not match "
+                     f"file name")
+    points = report.get("points", [])
+    if not points:
+        fail(figure, "no points in report")
+    for i, p in enumerate(points):
+        if not p.get("series"):
+            fail(figure, f"point {i} has no series")
+        for stat_key in ("value", "seconds"):
+            stat = p.get(stat_key)
+            if stat is None:
+                continue
+            for k in ("mean", "min", "max"):
+                v = stat.get(k)
+                # Non-finite doubles are serialized as strings ("NaN",
+                # "Infinity"); either form is a broken measurement.
+                if not isinstance(v, (int, float)) or not math.isfinite(v):
+                    fail(figure, f"point {i} ({p['series']}): {stat_key}.{k} "
+                                 f"is not finite: {v!r}")
+        for k, v in (p.get("extra") or {}).items():
+            if not isinstance(v, (int, float)) or not math.isfinite(v):
+                fail(figure, f"point {i} ({p['series']}): extra[{k!r}] is "
+                             f"not finite: {v!r}")
+
+
+# --- per-figure shape checks (mirroring tests/figures_test.cc) -------------
+
+
+def check_fig01(figure, report):
+    # The Triton join must beat the collapsed NPJ on the out-of-core
+    # workloads (the paper's motivating comparison).
+    npj = series(report, "GPU NPJ")
+    tri = series(report, "GPU Triton Join")
+    if not npj or not tri:
+        fail(figure, f"missing series; have {series_names(report)}")
+        return
+    x = max(p["x"] for p in tri)
+    npj_out, tri_out = at_x(npj, x), at_x(tri, x)
+    if npj_out and tri_out and value(tri_out) <= 2.0 * value(npj_out):
+        fail(figure, f"Triton ({value(tri_out):.3g}) should be >2x NPJ "
+                     f"({value(npj_out):.3g}) at {x} MTuples")
+
+
+def check_fig07(figure, report):
+    # Latency plateaus: within each chase series, the mean latency must be
+    # non-decreasing as the memory range grows (monotone staircase).
+    for name in series_names(report):
+        pts = series(report, name)
+        for a, b in zip(pts, pts[1:]):
+            if value(b) < 0.98 * value(a):
+                fail(figure, f"{name}: latency fell from {value(a):.1f} ns "
+                             f"(x={a['x']}) to {value(b):.1f} ns "
+                             f"(x={b['x']}); expected a monotone staircase")
+        # GPU memory misses cost ~1.2-1.5x a hit; CPU-memory page walks
+        # cost 4-7x. Require a clear rise without assuming which memory.
+        if pts and value(pts[-1]) < 1.15 * value(pts[0]):
+            fail(figure, f"{name}: no miss plateau (first {value(pts[0]):.1f}"
+                         f" ns, last {value(pts[-1]):.1f} ns)")
+
+
+def check_fig13(figure, report):
+    # NPJ collapse: the perfect-hashing NPJ's in-core throughput must be
+    # >3x its largest out-of-core workload (figures_test Figure13).
+    npj = series(report, "NPJ-perfect")
+    tri = series(report, "Triton-chain")
+    if not npj or not tri:
+        fail(figure, f"missing series; have {series_names(report)}")
+        return
+    in_core = value(npj[0])
+    out_core = value(npj[-1])
+    if in_core <= 3.0 * out_core:
+        fail(figure, f"NPJ-perfect in-core ({in_core:.3g}) should be >3x "
+                     f"out-of-core ({out_core:.3g})")
+    # And the Triton join must not collapse with it.
+    if value(tri[-1]) <= 2.0 * out_core:
+        fail(figure, f"Triton-chain ({value(tri[-1]):.3g}) should be >2x the "
+                     f"collapsed NPJ ({out_core:.3g})")
+
+
+def check_fig17(figure, report):
+    # Hierarchical must beat Standard at every size (paper: 3.6-4x).
+    hier = series(report, "Hierarchical")
+    std = series(report, "Standard")
+    for h, s in zip(hier, std):
+        if value(h) <= value(s):
+            fail(figure, f"Hierarchical ({value(h):.3g}) should beat "
+                         f"Standard ({value(s):.3g}) at x={h['x']}")
+
+
+def check_fig18(figure, report):
+    # Shared's IOMMU-requests-per-tuple cliff past fanout 64, while
+    # Hierarchical stays orders of magnitude lower (figures_test Figure18d).
+    shared = series(report, "Shared")
+    hier = series(report, "Hierarchical")
+    if not shared or not hier:
+        fail(figure, f"missing series; have {series_names(report)}")
+        return
+
+    def iommu(p):
+        return p["extra"]["iommu_req_per_tuple"]
+
+    shared_lo, shared_hi = iommu(shared[0]), iommu(shared[-1])
+    hier_hi = iommu(hier[-1])
+    if shared_hi <= 10.0 * (shared_lo + 1e-9):
+        fail(figure, f"Shared IOMMU cliff missing: lo={shared_lo:.3g} "
+                     f"hi={shared_hi:.3g}")
+    if hier_hi >= shared_hi / 8.0:
+        fail(figure, f"Hierarchical IOMMU hi ({hier_hi:.3g}) should be <1/8 "
+                     f"of Shared's ({shared_hi:.3g})")
+
+
+def check_fig19(figure, report):
+    # The Triton join scales smoothly with cache size: no cliff, i.e. the
+    # best cache point is within 2x of the worst (paper: 1.1-1.4x).
+    for name in series_names(report):
+        if not name.startswith("Triton/"):
+            continue
+        vals = [value(p) for p in series(report, name)]
+        if max(vals) > 2.0 * min(vals):
+            fail(figure, f"{name}: cache cliff (min {min(vals):.3g}, max "
+                         f"{max(vals):.3g}); expected smooth scaling")
+
+
+def check_ext_pcie(figure, report):
+    # Fast interconnects are the point: Triton@NVLink must beat
+    # Triton@PCIe on every workload.
+    nvlink = series(report, "Triton@NVLink")
+    pcie = series(report, "Triton@PCIe")
+    for a, b in zip(nvlink, pcie):
+        if value(a) <= value(b):
+            fail(figure, f"NVLink ({value(a):.3g}) should beat PCIe "
+                         f"({value(b):.3g}) at x={a['x']}")
+
+
+SHAPE_CHECKS = {
+    "fig01": check_fig01,
+    "fig07": check_fig07,
+    "fig13": check_fig13,
+    "fig17": check_fig17,
+    "fig18": check_fig18,
+    "fig19": check_fig19,
+    "ext_pcie": check_ext_pcie,
+}
+
+
+# --- drivers ---------------------------------------------------------------
+
+
+def load(path, figure):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(figure, f"cannot load {path}: {e}")
+        return None
+
+
+def byte_diff(figure, baseline_path, fresh_path):
+    with open(baseline_path, "rb") as f:
+        want = f.read()
+    with open(fresh_path, "rb") as f:
+        got = f.read()
+    if want == got:
+        return True
+    diff = difflib.unified_diff(
+        want.decode("utf-8", "replace").splitlines(keepends=True),
+        got.decode("utf-8", "replace").splitlines(keepends=True),
+        fromfile=f"baseline/{os.path.basename(baseline_path)}",
+        tofile=f"fresh/{os.path.basename(fresh_path)}",
+    )
+    text = "".join(diff)
+    # Large drifts would swamp the log; the head of the diff names the
+    # first diverging quantity, which is what matters.
+    lines = text.splitlines(keepends=True)
+    if len(lines) > 120:
+        text = "".join(lines[:120]) + f"... ({len(lines) - 120} more lines)\n"
+    fail(figure, "report differs from baseline:\n" + text)
+    return False
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", required=True,
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--fresh", required=True,
+                        help="directory of freshly generated BENCH_*.json")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the baselines from --fresh after the "
+                             "shape checks pass")
+    args = parser.parse_args()
+
+    identical = 0
+    for figure in EXPECTED_FIGURES:
+        name = f"BENCH_{figure}.json"
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            fail(figure, f"missing fresh report {fresh_path}")
+            continue
+
+        report = load(fresh_path, figure)
+        if report is None:
+            continue
+        check_generic(figure, report)
+        shape = SHAPE_CHECKS.get(figure)
+        if shape:
+            shape(figure, report)
+
+        if not args.update:
+            baseline_path = os.path.join(args.baselines, name)
+            if not os.path.exists(baseline_path):
+                fail(figure, f"missing baseline {baseline_path} "
+                             f"(run with --update to create it)")
+            elif byte_diff(figure, baseline_path, fresh_path):
+                identical += 1
+
+    if _errors:
+        print(f"bench_regress: {len(_errors)} failure(s)\n", file=sys.stderr)
+        for e in _errors:
+            print(e, file=sys.stderr)
+            print(file=sys.stderr)
+        print("If the change in modeled performance is intended, refresh "
+              "the baselines:\n  cmake --build build --target "
+              "refresh-baselines", file=sys.stderr)
+        return 1
+
+    if args.update:
+        os.makedirs(args.baselines, exist_ok=True)
+        for figure in EXPECTED_FIGURES:
+            name = f"BENCH_{figure}.json"
+            shutil.copyfile(os.path.join(args.fresh, name),
+                            os.path.join(args.baselines, name))
+        print(f"bench_regress: refreshed {len(EXPECTED_FIGURES)} baselines "
+              f"in {args.baselines} (shape checks passed)")
+    else:
+        print(f"bench_regress: {identical}/{len(EXPECTED_FIGURES)} reports "
+              f"byte-identical to baselines; all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

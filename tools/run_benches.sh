@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs every bench binary in the baseline configuration and collects the
+# BENCH_<figure>.json reports into one directory.
+#
+# Usage: tools/run_benches.sh <bench-bin-dir> <out-dir>
+#
+# The baseline configuration is --scale=256 --quick --runs=1: small enough
+# for CI, deterministic by construction (modeled time and counters are
+# bit-identical at any --threads setting), so the reports can be compared
+# byte for byte against the committed baselines in bench/baselines/.
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <bench-bin-dir> <out-dir>" >&2
+  exit 2
+fi
+
+bin_dir=$(cd "$1" && pwd)
+mkdir -p "$2"
+out_dir=$(cd "$2" && pwd)
+
+benches=("${bin_dir}"/bench_*)
+if [[ ${#benches[@]} -eq 0 || ! -x ${benches[0]} ]]; then
+  echo "error: no bench_* binaries in ${bin_dir}" >&2
+  exit 1
+fi
+
+# Run from the output directory so the default BENCH_<figure>.json paths
+# land there. --csv and --threads=2 exercise the other printers and the
+# parallel executor; neither may change the JSON bytes.
+cd "${out_dir}"
+for bench in "${benches[@]}"; do
+  [[ -x ${bench} && ! -d ${bench} ]] || continue
+  name=$(basename "${bench}")
+  echo "=== ${name}"
+  "${bench}" --scale=256 --quick --runs=1 --threads=2 --csv --json \
+    > "${name}.log" 2>&1 || {
+    status=$?
+    echo "error: ${name} exited with ${status}; log follows" >&2
+    cat "${name}.log" >&2
+    exit "${status}"
+  }
+done
+
+echo "reports in ${out_dir}:"
+ls "${out_dir}"/BENCH_*.json
