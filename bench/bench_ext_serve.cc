@@ -1,0 +1,184 @@
+// Extension experiment (beyond the paper): a concurrent join service.
+//
+// The paper's join owns the whole GPU for one query. This bench runs the
+// serve/ layer instead: N tenants share one simulated machine through the
+// JoinService's admission queue, memory arbiter and deterministic
+// scheduler. Total work is held fixed while the tenant count grows, so any
+// throughput drop is pure service overhead, not extra data.
+//
+// Series:
+//  - probes-batched:   each tenant issues small probes against the shared
+//                      resident build; the service coalesces them into one
+//                      launch (up to probe_batch_limit), amortizing the
+//                      per-dispatch overhead.
+//  - probes-unbatched: same trace with batching disabled — every probe
+//                      pays its own dispatch overhead.
+//  - joins:            one full join per tenant on an arbiter-carved
+//                      device (capacity contention, no batching).
+//
+// Expected shape: unbatched probe throughput decays as the fixed work is
+// split into ever more, ever smaller requests; batching keeps aggregate
+// throughput roughly flat. The joins series degrades mildly once carves
+// shrink (max_inflight > 1) and then stays level.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/join_service.h"
+
+namespace triton {
+namespace {
+
+/// Probe requests each tenant submits; fixed so the request count (and the
+/// dispatch overhead the unbatched series pays) scales with the tenants.
+constexpr uint32_t kProbesPerTenant = 8;
+
+struct ServeRun {
+  double busy_seconds = 0.0;
+  uint64_t dispatches = 0;
+  uint64_t matches = 0;
+  uint64_t checksum = 0;
+  sim::PerfCounters totals;
+};
+
+/// Runs `trace` through a fresh service and folds the outcome stream.
+ServeRun RunTrace(const sim::HwSpec& hw, const serve::ServiceConfig& config,
+                  const std::vector<serve::Request>& trace) {
+  serve::JoinService service(hw, config);
+  CHECK_OK(service.init_status());
+  for (const serve::Request& req : trace) {
+    CHECK_OK(service.Submit(req));
+  }
+  CHECK_OK(service.Drain());
+  ServeRun run;
+  run.busy_seconds = service.busy_seconds();
+  run.dispatches = service.dispatches();
+  for (const serve::RequestOutcome& out : service.outcomes()) {
+    CHECK_OK(out.status);
+    run.matches += out.matches;
+    run.checksum += out.checksum;
+    run.totals.Merge(out.counters);
+  }
+  return run;
+}
+
+int Main(int argc, char** argv) {
+  bench::BenchEnv env(argc, argv, "ext_serve", "Extension: join service",
+                      "Multi-tenant throughput (fixed total work)",
+                      {"mtuples", "build_mtuples"});
+  const uint64_t total = env.Tuples(env.flags().GetDouble("mtuples", 256));
+  const uint64_t build_n =
+      env.Tuples(env.flags().GetDouble("build_mtuples", 32));
+
+  std::vector<uint32_t> tenant_counts = {1, 2, 4, 8};
+  if (!env.quick()) {
+    tenant_counts.push_back(16);
+    tenant_counts.push_back(32);
+  }
+
+  util::Table table({"tenants", "batched G/s", "unbatched G/s", "speedup",
+                     "joins G/s"});
+  for (uint32_t tenants : tenant_counts) {
+    // -- Probe series: tenants*kProbesPerTenant requests over `total`
+    // tuples, submitted round-robin across tenants.
+    const uint32_t requests = tenants * kProbesPerTenant;
+    const uint64_t per_request = total / requests;
+    std::vector<serve::Request> probe_trace;
+    for (uint32_t q = 0; q < kProbesPerTenant; ++q) {
+      for (uint32_t t = 0; t < tenants; ++t) {
+        serve::Request req;
+        req.tenant = t;
+        req.kind = serve::RequestKind::kProbe;
+        req.s_tuples = per_request;
+        req.seed = 1000 + 31ull * t + q;
+        probe_trace.push_back(req);
+      }
+    }
+    const uint64_t probe_total = per_request * requests;
+
+    serve::ServiceConfig batched;
+    batched.queue_capacity = requests;
+    batched.max_inflight = 8;
+    batched.probe_batch_limit = 8;
+    batched.scheduler_seed = 42;
+    batched.shared_build_tuples = build_n;
+    serve::ServiceConfig unbatched = batched;
+    unbatched.probe_batch_limit = 1;
+
+    ServeRun a = RunTrace(env.hw(), batched, probe_trace);
+    ServeRun b = RunTrace(env.hw(), unbatched, probe_trace);
+    // Probe keys are drawn from the build's key domain: every probe tuple
+    // matches, and batching must not change any functional result.
+    CHECK_EQ(a.matches, probe_total);
+    CHECK_EQ(b.matches, probe_total);
+    CHECK_EQ(a.checksum, b.checksum);
+
+    // -- Join series: one full join per tenant over the same total work.
+    std::vector<serve::Request> join_trace;
+    const uint64_t join_side = total / (2 * tenants);
+    for (uint32_t t = 0; t < tenants; ++t) {
+      serve::Request req;
+      req.tenant = t;
+      req.kind = serve::RequestKind::kJoin;
+      req.r_tuples = join_side;
+      req.s_tuples = join_side;
+      req.seed = 2000 + 7ull * t;
+      join_trace.push_back(req);
+    }
+    serve::ServiceConfig joins;
+    joins.queue_capacity = tenants;
+    joins.max_inflight = tenants < 4 ? tenants : 4;
+    joins.scheduler_seed = 42;
+    ServeRun c = RunTrace(env.hw(), joins, join_trace);
+    const uint64_t join_total = 2 * join_side * tenants;
+
+    const double tp_a = static_cast<double>(probe_total) / a.busy_seconds;
+    const double tp_b = static_cast<double>(probe_total) / b.busy_seconds;
+    const double tp_c = static_cast<double>(join_total) / c.busy_seconds;
+
+    bench::Measurement am;
+    am.AddRun(a.busy_seconds, tp_a / 1e9, a.totals);
+    env.reporter().Add({.series = "probes-batched",
+                        .axis = "tenants",
+                        .x = static_cast<double>(tenants),
+                        .has_x = true,
+                        .unit = "gtuples_per_s",
+                        .m = am,
+                        .extra = {{"dispatches",
+                                   static_cast<double>(a.dispatches)}}});
+    bench::Measurement bm;
+    bm.AddRun(b.busy_seconds, tp_b / 1e9, b.totals);
+    env.reporter().Add({.series = "probes-unbatched",
+                        .axis = "tenants",
+                        .x = static_cast<double>(tenants),
+                        .has_x = true,
+                        .unit = "gtuples_per_s",
+                        .m = bm,
+                        .extra = {{"dispatches",
+                                   static_cast<double>(b.dispatches)}}});
+    bench::Measurement cm;
+    cm.AddRun(c.busy_seconds, tp_c / 1e9, c.totals);
+    env.reporter().Add({.series = "joins",
+                        .axis = "tenants",
+                        .x = static_cast<double>(tenants),
+                        .has_x = true,
+                        .unit = "gtuples_per_s",
+                        .m = cm,
+                        .extra = {{"dispatches",
+                                   static_cast<double>(c.dispatches)}}});
+    table.AddRow({std::to_string(tenants), bench::GTuples(tp_a),
+                  bench::GTuples(tp_b), util::FormatDouble(tp_a / tp_b, 2),
+                  bench::GTuples(tp_c)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  env.Emit(table, "Service throughput vs tenant count (fixed total work)");
+  return env.Finish();
+}
+
+}  // namespace
+}  // namespace triton
+
+int main(int argc, char** argv) { return triton::Main(argc, argv); }

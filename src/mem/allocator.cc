@@ -1,7 +1,9 @@
 #include "mem/allocator.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "util/bits.h"
 #include "util/logging.h"
@@ -52,6 +54,61 @@ Allocator::~Allocator() {
     LOG(WARNING) << "Allocator destroyed with " << live_buffers_
                  << " live buffers";
   }
+  if (!arenas_.empty()) {
+    LOG(WARNING) << "Allocator destroyed with " << arenas_.size()
+                 << " open arena frames";
+  }
+}
+
+uint64_t Allocator::BeginArena() {
+  ArenaFrame frame;
+  frame.id = next_arena_id_++;
+  frame.sim_addr_checkpoint = next_sim_addr_;
+  frame.live_checkpoint = live_buffers_;
+  arenas_.push_back(frame);
+  if (observer_ != nullptr) {
+    observer_->OnArenaBegin(frame.id, frame.sim_addr_checkpoint);
+  }
+  return frame.id;
+}
+
+util::Status Allocator::ArenaViolation(uint64_t id, std::string message) {
+  if (observer_ != nullptr) observer_->OnArenaViolation(id, message);
+  return util::Status::FailedPrecondition(std::move(message));
+}
+
+util::Status Allocator::EndArena(uint64_t id) {
+  if (std::find(closed_arena_ids_.begin(), closed_arena_ids_.end(), id) !=
+      closed_arena_ids_.end()) {
+    return ArenaViolation(
+        id, "arena " + std::to_string(id) + " released twice");
+  }
+  auto it = std::find_if(arenas_.begin(), arenas_.end(),
+                         [id](const ArenaFrame& f) { return f.id == id; });
+  if (it == arenas_.end()) {
+    return ArenaViolation(
+        id, "arena " + std::to_string(id) + " is not an open frame");
+  }
+  if (it + 1 != arenas_.end()) {
+    return ArenaViolation(
+        id, "arena " + std::to_string(id) + " released out of order (" +
+                std::to_string(arenas_.back().id) + " is still open)");
+  }
+  const ArenaFrame frame = *it;
+  if (live_buffers_ != frame.live_checkpoint) {
+    return ArenaViolation(
+        id, "arena " + std::to_string(id) + " released with " +
+                std::to_string(live_buffers_ - frame.live_checkpoint) +
+                " live buffer(s); freeing them later would corrupt the "
+                "rewound bump pointer");
+  }
+  // Clean close: rewind the bump pointer so the next query's simulated
+  // addresses are independent of this arena's history.
+  next_sim_addr_ = frame.sim_addr_checkpoint;
+  arenas_.pop_back();
+  closed_arena_ids_.push_back(id);
+  if (observer_ != nullptr) observer_->OnArenaEnd(id);
+  return util::Status::OK();
 }
 
 util::StatusOr<Buffer> Allocator::AllocateImpl(uint64_t bytes,

@@ -10,6 +10,8 @@
 #define TRITON_MEM_ALLOCATOR_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "mem/buffer.h"
 #include "sim/hw_spec.h"
@@ -27,6 +29,18 @@ class AllocationObserver {
   virtual void OnAlloc(const Buffer& buffer) = 0;
   /// Called before `buffer`'s storage is released.
   virtual void OnFree(const Buffer& buffer) = 0;
+
+  // --- Arena lifecycle (see Allocator::BeginArena) ---
+
+  /// Called when an arena frame is opened; `base_addr` is the simulated
+  /// address the bump pointer will rewind to on a clean close.
+  virtual void OnArenaBegin(uint64_t /*id*/, uint64_t /*base_addr*/) {}
+  /// Called when an arena frame closes cleanly.
+  virtual void OnArenaEnd(uint64_t /*id*/) {}
+  /// Called when an arena close is rejected (double release, out-of-order
+  /// release, or live buffers still inside the arena).
+  virtual void OnArenaViolation(uint64_t /*id*/,
+                                const std::string& /*message*/) {}
 };
 
 /// Allocates simulated-placement buffers and tracks pool usage.
@@ -55,6 +69,36 @@ class Allocator {
   /// Frees a buffer explicitly (also happens on Buffer destruction).
   void Free(Buffer& buffer);
 
+  // --- Query arenas ---
+  //
+  // The bump pointer behind simulated virtual addresses never recycles, so
+  // a long-lived allocator (the serve layer's shared device) would hand a
+  // query different addresses — and therefore different TLB-range physics —
+  // depending on what ran before it. An arena frame checkpoints the bump
+  // pointer: when the frame closes with every buffer allocated inside it
+  // freed, the pointer rewinds to the checkpoint, making each query's
+  // addresses a function of its own allocation sequence only.
+
+  /// Opens an arena frame and returns its id (never 0, never reused).
+  uint64_t BeginArena();
+
+  /// Closes the most recent open arena frame. Fails with
+  /// FailedPrecondition — leaving the bump pointer untouched and notifying
+  /// the observer (the DeviceSanitizer turns this into a diagnostic) — when
+  /// `id` is unknown or already closed (double release), is not the
+  /// innermost open frame (out-of-order release), or still has live
+  /// buffers allocated inside it (use-after-release hazard).
+  util::Status EndArena(uint64_t id);
+
+  /// Open arena frames (for tests and introspection).
+  size_t open_arenas() const { return arenas_.size(); }
+
+  /// Buffers allocated since the innermost open frame (0 when none open).
+  int64_t arena_live_buffers() const {
+    return arenas_.empty() ? 0
+                           : live_buffers_ - arenas_.back().live_checkpoint;
+  }
+
   /// Registers `observer` for alloc/free events (null to unregister). The
   /// observer must outlive all allocations made while it is registered.
   void set_observer(AllocationObserver* observer) { observer_ = observer; }
@@ -70,6 +114,19 @@ class Allocator {
  private:
   util::StatusOr<Buffer> AllocateImpl(uint64_t bytes, Placement placement);
 
+  /// One open arena frame.
+  struct ArenaFrame {
+    uint64_t id = 0;
+    /// Bump-pointer checkpoint to rewind to on a clean close.
+    uint64_t sim_addr_checkpoint = 0;
+    /// live_buffers_ at open time; a clean close requires equality.
+    int64_t live_checkpoint = 0;
+  };
+
+  /// Rejects an arena close: notifies the observer and returns the status
+  /// without touching allocator state.
+  util::Status ArenaViolation(uint64_t id, std::string message);
+
   sim::HwSpec hw_;
   uint64_t gpu_used_ = 0;
   uint64_t cpu_used_ = 0;
@@ -78,6 +135,13 @@ class Allocator {
   /// reused); starts away from 0 so null-ish addresses stay invalid.
   uint64_t next_sim_addr_ = 1ULL << 40;
   AllocationObserver* observer_ = nullptr;
+  /// Open arena frames, innermost last (LIFO).
+  std::vector<ArenaFrame> arenas_;
+  /// Source of arena ids; monotonically increasing so a stale id can never
+  /// collide with a live frame.
+  uint64_t next_arena_id_ = 1;
+  /// Ids of frames already closed cleanly, for double-release diagnosis.
+  std::vector<uint64_t> closed_arena_ids_;
 };
 
 }  // namespace triton::mem

@@ -42,6 +42,8 @@ const char* ViolationCodeName(ViolationCode code) {
       return "LockProtocol";
     case ViolationCode::kCounterInvariant:
       return "CounterInvariant";
+    case ViolationCode::kArenaLiveness:
+      return "ArenaLiveness";
   }
   return "Unknown";
 }
@@ -113,6 +115,39 @@ void DeviceSanitizer::OnFree(const mem::Buffer& buffer) {
   // A later allocation may reuse the address; drop stale shadow intervals.
   functional_writes_.erase(base);
   accounted_writes_.erase(base);
+}
+
+void DeviceSanitizer::OnArenaBegin(uint64_t id, uint64_t base_addr) {
+  open_arenas_[id] = base_addr;
+}
+
+void DeviceSanitizer::OnArenaEnd(uint64_t id) {
+  auto it = open_arenas_.find(id);
+  if (it == open_arenas_.end()) {
+    Report(ViolationCode::kArenaLiveness,
+           "arena " + std::to_string(id) + " closed but was never opened");
+    return;
+  }
+  const uint64_t base = it->second;
+  // Independent audit of the allocator's liveness accounting: every
+  // allocation handed out inside the frame lives at or above its base
+  // address (the bump pointer never moves backwards while a frame is
+  // open), so anything still live up there outlives its arena.
+  for (const auto& [addr, alloc] : live_) {
+    if (addr >= base) {
+      std::ostringstream os;
+      os << "arena " << id << " closed with live allocation at 0x"
+         << std::hex << addr << std::dec << " (" << alloc.size << " bytes)";
+      Report(ViolationCode::kArenaLiveness, os.str());
+    }
+  }
+  open_arenas_.erase(it);
+}
+
+void DeviceSanitizer::OnArenaViolation(uint64_t id,
+                                       const std::string& message) {
+  Report(ViolationCode::kArenaLiveness,
+         "arena " + std::to_string(id) + ": " + message);
 }
 
 std::map<uint64_t, DeviceSanitizer::LiveAllocation>::const_iterator

@@ -74,6 +74,11 @@ enum class ViolationCode {
   /// Launch counters failed a sanity invariant (tuple count mismatch, zero
   /// issue slots, accounted bytes below tuples x width).
   kCounterInvariant,
+  /// Query-arena lifecycle violation: an arena released twice, released
+  /// out of order, or released while buffers allocated inside it are still
+  /// live (mem::Allocator::EndArena refuses and reports here instead of
+  /// silently corrupting the bump pointer).
+  kArenaLiveness,
 };
 
 /// Returns a stable name for a violation code ("AccountedOutOfBounds", ...).
@@ -112,6 +117,17 @@ class DeviceSanitizer : public mem::AllocationObserver {
 
   void OnAlloc(const mem::Buffer& buffer) override;
   void OnFree(const mem::Buffer& buffer) override;
+
+  // --- Arena lifecycle callbacks (mem::AllocationObserver) ---
+
+  /// Tracks the open frame so OnArenaEnd can audit liveness.
+  void OnArenaBegin(uint64_t id, uint64_t base_addr) override;
+  /// Cross-checks the allocator's own liveness accounting: any allocation
+  /// still live at or above the frame's base address is a use-after-release
+  /// hazard and reports kArenaLiveness.
+  void OnArenaEnd(uint64_t id) override;
+  /// Records the allocator's refusal as a kArenaLiveness violation.
+  void OnArenaViolation(uint64_t id, const std::string& message) override;
 
   // --- Launch lifecycle (driven by exec::Device) ---
 
@@ -220,6 +236,9 @@ class DeviceSanitizer : public mem::AllocationObserver {
 
   /// Live allocations keyed by base address.
   std::map<uint64_t, LiveAllocation> live_;
+
+  /// Open arena frames: id -> simulated base address of the frame.
+  std::map<uint64_t, uint64_t> open_arenas_;
 
   // Per-launch shadow state, keyed by allocation base address.
   std::unordered_map<uint64_t, RangeSet> functional_writes_;

@@ -65,6 +65,9 @@ struct PerfCounters {
   /// Adds every counter of `other` into this record.
   void Merge(const PerfCounters& other);
 
+  /// Field-by-field equality; the determinism tests compare whole records.
+  bool operator==(const PerfCounters& other) const = default;
+
   /// Total physical bytes on the link (both directions).
   uint64_t LinkPhysicalTotal() const {
     return link_read_physical + link_write_physical;

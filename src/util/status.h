@@ -24,6 +24,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// A bounded resource (admission queue, memory-arbiter budget) is
+  /// temporarily full; retrying after capacity is released can succeed.
+  /// Distinct from kOutOfMemory, which reports a hard capacity miss inside
+  /// the allocator itself.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument").
@@ -60,6 +65,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

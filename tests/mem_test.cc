@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "exec/device.h"
 #include "mem/allocator.h"
 #include "mem/buffer.h"
+#include "sanitizer/sanitizer.h"
 #include "sim/hw_spec.h"
 #include "util/units.h"
 
@@ -139,6 +144,114 @@ TEST_F(AllocatorTest, InterleavedGpuPortionCountsAgainstCapacity) {
   // must fail.
   auto too_big = alloc_.AllocateInterleaved(4 * cap, 2 * cap);
   EXPECT_FALSE(too_big.ok());
+}
+
+// --- Query arenas: checkpoint/rewind of the simulated address space ---
+
+TEST_F(AllocatorTest, ArenaRewindRestoresSimulatedAddresses) {
+  const uint64_t arena1 = alloc_.BeginArena();
+  auto a = alloc_.AllocateCpu(1 * kMiB);
+  ASSERT_TRUE(a.ok());
+  const uint64_t addr1 = a->base_addr();
+  alloc_.Free(*a);
+  ASSERT_TRUE(alloc_.EndArena(arena1).ok());
+
+  // A second arena generation replays the exact same simulated addresses:
+  // that is what makes per-query TLB physics history-independent.
+  const uint64_t arena2 = alloc_.BeginArena();
+  auto b = alloc_.AllocateCpu(1 * kMiB);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->base_addr(), addr1);
+  alloc_.Free(*b);
+  ASSERT_TRUE(alloc_.EndArena(arena2).ok());
+  EXPECT_EQ(alloc_.open_arenas(), 0u);
+}
+
+TEST_F(AllocatorTest, ArenaDoubleReleaseFailsInsteadOfCorrupting) {
+  const uint64_t arena = alloc_.BeginArena();
+  ASSERT_TRUE(alloc_.EndArena(arena).ok());
+
+  // The bump pointer was already rewound once; a second release must not
+  // silently rewind it again under whoever allocated since.
+  auto since = alloc_.AllocateCpu(1 * kMiB);
+  ASSERT_TRUE(since.ok());
+  const uint64_t addr_before = since->base_addr();
+
+  util::Status again = alloc_.EndArena(arena);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), util::StatusCode::kFailedPrecondition);
+
+  auto after = alloc_.AllocateCpu(1 * kMiB);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->base_addr(), addr_before);  // pointer untouched
+  alloc_.Free(*since);
+  alloc_.Free(*after);
+}
+
+TEST_F(AllocatorTest, ArenaWithLiveBuffersRefusesToClose) {
+  const uint64_t arena = alloc_.BeginArena();
+  auto live = alloc_.AllocateCpu(1 * kMiB);
+  ASSERT_TRUE(live.ok());
+
+  // Rewinding under a live buffer would hand its addresses to the next
+  // allocation — the use-after-release this API exists to prevent.
+  util::Status st = alloc_.EndArena(arena);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(alloc_.open_arenas(), 1u);
+
+  alloc_.Free(*live);
+  EXPECT_TRUE(alloc_.EndArena(arena).ok());
+}
+
+TEST_F(AllocatorTest, ArenaOutOfOrderReleaseFails) {
+  const uint64_t outer = alloc_.BeginArena();
+  const uint64_t inner = alloc_.BeginArena();
+  util::Status st = alloc_.EndArena(outer);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(alloc_.EndArena(inner).ok());
+  EXPECT_TRUE(alloc_.EndArena(outer).ok());
+}
+
+TEST_F(AllocatorTest, ArenaUnknownIdFails) {
+  EXPECT_EQ(alloc_.EndArena(12345).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+// The sanitizer is the allocator's observer inside a Device: arena misuse
+// must surface as a DeviceSanitizer diagnostic, not just a status.
+TEST(ArenaSanitizerTest, ViolationsAreReportedToTheSanitizer) {
+  sim::HwSpec hw = HwSpec::Ac922NvLink().Scaled(64);
+  exec::Device dev(hw, /*sanitize=*/true);
+  ASSERT_NE(dev.sanitizer(), nullptr);
+  Allocator& alloc = dev.allocator();
+
+  // Live buffer at close → kArenaLiveness naming the arena.
+  const uint64_t arena = alloc.BeginArena();
+  auto live = alloc.AllocateCpu(64 * kKiB);
+  ASSERT_TRUE(live.ok());
+  EXPECT_FALSE(alloc.EndArena(arena).ok());
+  {
+    std::vector<sanitizer::Violation> vs = dev.sanitizer()->TakeViolations();
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs.front().code, sanitizer::ViolationCode::kArenaLiveness)
+        << vs.front().message;
+  }
+
+  // Clean close after the free → no violation.
+  alloc.Free(*live);
+  EXPECT_TRUE(alloc.EndArena(arena).ok());
+  EXPECT_TRUE(dev.sanitizer()->TakeViolations().empty());
+
+  // Double release → kArenaLiveness again.
+  EXPECT_FALSE(alloc.EndArena(arena).ok());
+  {
+    std::vector<sanitizer::Violation> vs = dev.sanitizer()->TakeViolations();
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs.front().code, sanitizer::ViolationCode::kArenaLiveness)
+        << vs.front().message;
+  }
 }
 
 TEST(PlacementTest, LocationPattern) {

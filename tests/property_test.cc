@@ -6,9 +6,12 @@
 #include <memory>
 #include <tuple>
 
+#include "core/triton_aggregate.h"
 #include "core/triton_join.h"
 #include "data/generator.h"
+#include "data/relation.h"
 #include "exec/device.h"
+#include "serve/join_service.h"
 #include "join/cpu_partitioned_join.h"
 #include "join/cpu_radix_join.h"
 #include "join/no_partitioning_join.h"
@@ -251,6 +254,83 @@ TEST(TritonRobustnessProperty, ThroughputDegradesGracefully) {
     prev_tp = tp;
   }
 }
+
+// --- Service interleaving never changes any tenant's answer ---
+//
+// A seeded random schedule of join/aggregate requests across tenants runs
+// through the JoinService (contended, interleaved, carved devices); every
+// outcome must equal a serial oracle executed in isolation on the full
+// machine: CpuRadixJoin for joins, TritonAggregate for aggregates.
+
+class ServiceOracleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServiceOracleProperty, EveryTenantMatchesItsSerialOracle) {
+  const uint64_t seed = GetParam();
+  sim::HwSpec hw = sim::HwSpec::Ac922NvLink().Scaled(64);
+  util::Rng rng(seed * 977 + 11);
+
+  std::vector<serve::Request> trace;
+  for (uint32_t tenant = 0; tenant < 3; ++tenant) {
+    for (int q = 0; q < 3; ++q) {
+      serve::Request req;
+      req.tenant = tenant;
+      if (rng.NextBounded(2) == 0) {
+        req.kind = serve::RequestKind::kJoin;
+        req.r_tuples = 2000 + rng.NextBounded(15000);
+        req.s_tuples = req.r_tuples + rng.NextBounded(req.r_tuples);
+      } else {
+        req.kind = serve::RequestKind::kAggregate;
+        req.r_tuples = 500 + rng.NextBounded(3000);  // group-key domain
+        req.s_tuples = 4000 + rng.NextBounded(25000);
+      }
+      req.seed = seed * 131 + tenant * 17 + static_cast<uint64_t>(q);
+      trace.push_back(req);
+    }
+  }
+
+  serve::ServiceConfig config;
+  config.max_inflight = 3;
+  config.scheduler_seed = seed;
+  serve::JoinService service(hw, config);
+  for (const serve::Request& req : trace) {
+    ASSERT_TRUE(service.Submit(req).ok());
+  }
+  ASSERT_TRUE(service.Drain().ok());
+  ASSERT_EQ(service.outcomes().size(), trace.size());
+
+  for (const serve::RequestOutcome& out : service.outcomes()) {
+    ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+    // Request ids are assigned in submission order, starting at 1.
+    const serve::Request& req = trace[out.id - 1];
+    exec::Device dev(hw);  // the full, uncontended machine
+    if (req.kind == serve::RequestKind::kJoin) {
+      data::WorkloadConfig cfg;
+      cfg.r_tuples = req.r_tuples;
+      cfg.s_tuples = req.s_tuples;
+      cfg.seed = req.seed;
+      auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+      ASSERT_TRUE(wl.ok());
+      join::CpuRadixJoin oracle;
+      auto run = oracle.Run(dev, wl->r, wl->s);
+      ASSERT_TRUE(run.ok());
+      EXPECT_EQ(out.matches, req.s_tuples) << "request " << out.id;
+      EXPECT_EQ(out.checksum, run->checksum) << "request " << out.id;
+    } else {
+      auto rel = data::Relation::AllocateCpu(dev.allocator(), req.s_tuples);
+      ASSERT_TRUE(rel.ok());
+      data::FillForeignKeys(*rel, req.r_tuples, req.seed);
+      data::FillPayloads(*rel, req.seed ^ 0x9e3779b97f4a7c15ULL);
+      core::TritonAggregate oracle;
+      auto run = oracle.Run(dev, *rel);
+      ASSERT_TRUE(run.ok());
+      EXPECT_EQ(out.matches, run->groups) << "request " << out.id;
+      EXPECT_EQ(out.checksum, run->checksum) << "request " << out.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ServiceOracleProperty,
+                         ::testing::Range<uint64_t>(1, 5));
 
 // --- Workload generator properties across seeds ---
 

@@ -32,7 +32,7 @@ import sys
 EXPECTED_FIGURES = [
     "fig01", "fig04", "fig06", "fig07", "fig13", "fig14", "fig15", "fig16",
     "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
-    "ablation", "ext_skew", "ext_pcie",
+    "ablation", "ext_skew", "ext_pcie", "ext_serve",
 ]
 
 SCHEMA_VERSION = 1
@@ -213,6 +213,30 @@ def check_ext_pcie(figure, report):
                          f"({value(b):.3g}) at x={a['x']}")
 
 
+def check_ext_serve(figure, report):
+    # Total work is fixed while tenants grow, so aggregate throughput must
+    # not collapse when probes are batched: batching amortizes the
+    # per-dispatch overhead the unbatched series pays per request.
+    batched = series(report, "probes-batched")
+    unbatched = series(report, "probes-unbatched")
+    joins = series(report, "joins")
+    if not batched or not unbatched or not joins:
+        fail(figure, f"missing series; have {series_names(report)}")
+        return
+    if value(batched[-1]) < 0.4 * value(batched[0]):
+        fail(figure, f"batched probe throughput collapsed as tenants grew: "
+                     f"{value(batched[0]):.3g} -> {value(batched[-1]):.3g} "
+                     f"(want last >= 0.4x first)")
+    if value(batched[-1]) <= 1.5 * value(unbatched[-1]):
+        fail(figure, f"batching should win clearly at max tenants: batched "
+                     f"{value(batched[-1]):.3g} vs unbatched "
+                     f"{value(unbatched[-1]):.3g} (want >1.5x)")
+    if value(joins[-1]) < 0.5 * value(joins[0]):
+        fail(figure, f"join throughput collapsed under carve contention: "
+                     f"{value(joins[0]):.3g} -> {value(joins[-1]):.3g} "
+                     f"(want last >= 0.5x first)")
+
+
 SHAPE_CHECKS = {
     "fig01": check_fig01,
     "fig07": check_fig07,
@@ -221,6 +245,7 @@ SHAPE_CHECKS = {
     "fig18": check_fig18,
     "fig19": check_fig19,
     "ext_pcie": check_ext_pcie,
+    "ext_serve": check_ext_serve,
 }
 
 
