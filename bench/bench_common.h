@@ -13,18 +13,25 @@
 // machine-readable report, default BENCH_<figure>.json in the working
 // directory — see bench/reporter.h), --quick (coarser sweeps), --threads=N
 // (host worker threads simulating thread blocks; 0 = TRITON_THREADS env or
-// hardware concurrency — results are bit-identical at any setting).
+// hardware concurrency — results are bit-identical at any setting),
+// --jobs=N (independent measurement cells run concurrently on N host
+// threads in benches that support it; forces --threads=1 so the cell is
+// the unit of parallelism — results are bit-identical at any setting).
 // Unknown flags are an error: a typo like --thread=8 would otherwise
 // silently run with the default and poison a regression baseline.
 
 #ifndef TRITON_BENCH_BENCH_COMMON_H_
 #define TRITON_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <initializer_list>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/reporter.h"
@@ -54,6 +61,7 @@ class BenchEnv {
       : flags_(argc, argv),
         scale_(flags_.GetInt("scale", 64)),
         runs_(flags_.GetInt("runs", 1)),
+        jobs_(flags_.GetInt("jobs", 1)),
         csv_(flags_.GetBool("csv", false)),
         quick_(flags_.GetBool("quick", false)),
         hw_(sim::HwSpec::Ac922NvLink().Scaled(static_cast<double>(scale_))),
@@ -66,8 +74,12 @@ class BenchEnv {
         json_path_ = std::string("BENCH_") + figure_id + ".json";
       }
     }
+    // Cell-level parallelism owns the host threads: the shared block
+    // executor must run blocks inline on each cell's thread (its Run is
+    // not reentrant), so --jobs > 1 pins it to one thread.
     exec::BlockExecutor::Global().SetThreads(
-        static_cast<uint32_t>(flags_.GetInt("threads", 0)));
+        jobs_ > 1 ? 1
+                  : static_cast<uint32_t>(flags_.GetInt("threads", 0)));
     reporter_.Configure(figure_id, figure, title, hw_.name, scale_, runs_,
                         quick_);
     std::printf("=== %s: %s ===\n", figure, title);
@@ -80,6 +92,7 @@ class BenchEnv {
   const util::Flags& flags() const { return flags_; }
   int64_t scale() const { return scale_; }
   int64_t runs() const { return runs_; }
+  int64_t jobs() const { return jobs_; }
   bool csv() const { return csv_; }
   bool quick() const { return quick_; }
   const sim::HwSpec& hw() const { return hw_; }
@@ -135,8 +148,8 @@ class BenchEnv {
   /// Rejects flags (and stray positional arguments) this bench does not
   /// understand, listing what it does.
   void ValidateFlags(std::initializer_list<const char*> bench_flags) {
-    std::vector<std::string> known = {"scale", "runs",    "csv",
-                                      "quick", "threads", "json"};
+    std::vector<std::string> known = {"scale",   "runs", "csv", "quick",
+                                      "threads", "json", "jobs"};
     for (const char* f : bench_flags) known.push_back(f);
     bool bad = false;
     for (const std::string& name : flags_.names()) {
@@ -164,6 +177,7 @@ class BenchEnv {
   util::Flags flags_;
   int64_t scale_;
   int64_t runs_;
+  int64_t jobs_;
   bool csv_;
   bool quick_;
   sim::HwSpec hw_;
@@ -171,6 +185,37 @@ class BenchEnv {
   Reporter reporter_;
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Runs independent measurement cells concurrently on `jobs` host threads
+/// (the calling thread participates; jobs <= 1 runs them in order inline).
+/// Cells are claimed in index order from an atomic counter. Each cell must
+/// be self-contained — build its own Device, generate its own workload,
+/// and deposit results into its own pre-allocated slot — and the caller
+/// must report the slots in index order after RunCells returns. Modeled
+/// quantities are pure functions of each cell's inputs, so the report is
+/// byte-identical at any --jobs setting; only host wall-clock changes.
+inline void RunCells(int64_t jobs,
+                     const std::vector<std::function<void()>>& cells) {
+  if (jobs <= 1 || cells.size() <= 1) {
+    for (const auto& cell : cells) cell();
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto drain = [&] {
+    size_t i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) <
+           cells.size()) {
+      cells[i]();
+    }
+  };
+  std::vector<std::thread> pool;
+  const size_t extra =
+      std::min<size_t>(static_cast<size_t>(jobs), cells.size()) - 1;
+  pool.reserve(extra);
+  for (size_t t = 0; t < extra; ++t) pool.emplace_back(drain);
+  drain();
+  for (auto& th : pool) th.join();
+}
 
 /// Runs `fn` (returning simulated seconds) `runs` times on fresh seeds and
 /// returns summary statistics.

@@ -12,6 +12,8 @@
 // 1.9-2.6x at 2048 M tuples.
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "core/triton_join.h"
@@ -23,67 +25,109 @@ namespace {
 
 using bench::BenchEnv;
 
+/// One join algorithm under test: a name plus a factory-and-run closure.
+struct Series {
+  const char* name;
+  std::function<util::StatusOr<join::JoinRun>(
+      exec::Device&, const data::Relation&, const data::Relation&)>
+      run;
+};
+
 int Main(int argc, char** argv) {
   BenchEnv env(argc, argv, "fig13", "Figure 13",
                "Scaling the build-side relation (|R| = |S|)");
   sim::CpuSpec xeon = sim::HwSpec::XeonGold6126();
 
+  const std::vector<Series> series = {
+      {"CPU-P9-chain",
+       [](exec::Device& dev, const data::Relation& r, const data::Relation& s) {
+         return join::CpuRadixJoin({.scheme = join::HashScheme::kBucketChaining})
+             .Run(dev, r, s);
+       }},
+      {"CPU-P9-perfect",
+       [](exec::Device& dev, const data::Relation& r, const data::Relation& s) {
+         return join::CpuRadixJoin({.scheme = join::HashScheme::kPerfect})
+             .Run(dev, r, s);
+       }},
+      {"CPU-Xeon-chain",
+       [&xeon](exec::Device& dev, const data::Relation& r,
+               const data::Relation& s) {
+         return join::CpuRadixJoin(
+                    {.scheme = join::HashScheme::kBucketChaining, .cpu = &xeon})
+             .Run(dev, r, s);
+       }},
+      {"NPJ-perfect",
+       [](exec::Device& dev, const data::Relation& r, const data::Relation& s) {
+         return join::NoPartitioningJoin({.scheme = join::HashScheme::kPerfect})
+             .Run(dev, r, s);
+       }},
+      {"NPJ-linear",
+       [](exec::Device& dev, const data::Relation& r, const data::Relation& s) {
+         return join::NoPartitioningJoin(
+                    {.scheme = join::HashScheme::kLinearProbing})
+             .Run(dev, r, s);
+       }},
+      {"Triton-chain",
+       [](exec::Device& dev, const data::Relation& r, const data::Relation& s) {
+         return core::TritonJoin({.scheme = join::HashScheme::kBucketChaining})
+             .Run(dev, r, s);
+       }},
+      {"Triton-perfect",
+       [](exec::Device& dev, const data::Relation& r, const data::Relation& s) {
+         return core::TritonJoin({.scheme = join::HashScheme::kPerfect})
+             .Run(dev, r, s);
+       }},
+  };
+
+  // Every (size, series) measurement is a self-contained cell — fresh
+  // Device, freshly generated workload — so cells run concurrently under
+  // --jobs. Results land in sweep-order slots; reporting below stays in
+  // the exact order (and with the exact bytes) of the sequential sweep.
+  const std::vector<double> sweep = env.SizeSweep();
+  std::vector<bench::Measurement> cell_meas(sweep.size() * series.size());
+  std::vector<std::function<void()>> cells;
+  cells.reserve(cell_meas.size());
+  for (size_t si = 0; si < sweep.size(); ++si) {
+    const uint64_t n = env.Tuples(sweep[si]);
+    for (size_t a = 0; a < series.size(); ++a) {
+      bench::Measurement* meas = &cell_meas[si * series.size() + a];
+      const Series* alg = &series[a];
+      cells.push_back([meas, alg, n, &env] {
+        for (int64_t rep = 0; rep < env.runs(); ++rep) {
+          exec::Device dev(env.hw());
+          data::WorkloadConfig cfg;
+          cfg.r_tuples = n;
+          cfg.s_tuples = n;
+          cfg.seed = 42 + static_cast<uint64_t>(rep);
+          auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+          CHECK_OK(wl.status());
+          auto run = alg->run(dev, wl->r, wl->s);
+          CHECK_OK(run.status());
+          CHECK_EQ(run->matches, n);
+          meas->AddRun(run->elapsed, run->Throughput(n, n) / 1e9,
+                       run->totals);
+        }
+      });
+    }
+  }
+  bench::RunCells(env.jobs(), cells);
+
   util::Table table({"MTuples/rel", "CPU-P9-chain", "CPU-P9-perfect",
                      "CPU-Xeon-chain", "NPJ-perfect", "NPJ-linear",
                      "Triton-chain", "Triton-perfect"});
-
-  for (double m : env.SizeSweep()) {
-    uint64_t n = env.Tuples(m);
+  for (size_t si = 0; si < sweep.size(); ++si) {
+    const double m = sweep[si];
     std::vector<std::string> row = {util::FormatDouble(m, 0)};
-
-    auto throughput = [&](const char* series, auto&& make_join) {
-      bench::Measurement meas;
-      for (int64_t rep = 0; rep < env.runs(); ++rep) {
-        exec::Device dev(env.hw());
-        data::WorkloadConfig cfg;
-        cfg.r_tuples = n;
-        cfg.s_tuples = n;
-        cfg.seed = 42 + static_cast<uint64_t>(rep);
-        auto wl = data::GenerateWorkload(dev.allocator(), cfg);
-        CHECK_OK(wl.status());
-        auto run = make_join().Run(dev, wl->r, wl->s);
-        CHECK_OK(run.status());
-        CHECK_EQ(run->matches, n);
-        meas.AddRun(run->elapsed, run->Throughput(n, n) / 1e9, run->totals);
-      }
-      env.reporter().Add({.series = series,
+    for (size_t a = 0; a < series.size(); ++a) {
+      const bench::Measurement& meas = cell_meas[si * series.size() + a];
+      env.reporter().Add({.series = series[a].name,
                           .axis = "mtuples_per_relation",
                           .x = m,
                           .has_x = true,
                           .unit = "gtuples_per_s",
                           .m = meas});
-      return util::FormatDouble(meas.value.mean(), 3);
-    };
-
-    row.push_back(throughput("CPU-P9-chain", [&] {
-      return join::CpuRadixJoin(
-          {.scheme = join::HashScheme::kBucketChaining});
-    }));
-    row.push_back(throughput("CPU-P9-perfect", [&] {
-      return join::CpuRadixJoin({.scheme = join::HashScheme::kPerfect});
-    }));
-    row.push_back(throughput("CPU-Xeon-chain", [&] {
-      return join::CpuRadixJoin(
-          {.scheme = join::HashScheme::kBucketChaining, .cpu = &xeon});
-    }));
-    row.push_back(throughput("NPJ-perfect", [&] {
-      return join::NoPartitioningJoin({.scheme = join::HashScheme::kPerfect});
-    }));
-    row.push_back(throughput("NPJ-linear", [&] {
-      return join::NoPartitioningJoin(
-          {.scheme = join::HashScheme::kLinearProbing});
-    }));
-    row.push_back(throughput("Triton-chain", [&] {
-      return core::TritonJoin({.scheme = join::HashScheme::kBucketChaining});
-    }));
-    row.push_back(throughput("Triton-perfect", [&] {
-      return core::TritonJoin({.scheme = join::HashScheme::kPerfect});
-    }));
+      row.push_back(util::FormatDouble(meas.value.mean(), 3));
+    }
     table.AddRow(row);
     std::printf(".");
     std::fflush(stdout);

@@ -10,6 +10,7 @@
 #include "partition/prefix_sum.h"
 #include "partition/shared.h"
 #include "util/bits.h"
+#include "util/fastpath.h"
 
 namespace triton::core {
 
@@ -201,8 +202,19 @@ util::StatusOr<join::JoinRun> TritonJoin::Run(exec::Device& dev,
             ctx.Charge(static_cast<uint64_t>(
                 n * partition::kPrefixSumCyclesPerTuple));
             if (stage_pairs) {
-              for (uint64_t i = 0; i < n; ++i) {
-                ctx.Store(staging, stage_offset + i, rows.Get(i));
+              if (util::FastPathEnabled()) {
+                partition::Tuple batch[partition::kFastPathBatchTuples];
+                for (uint64_t base = 0; base < n;
+                     base += partition::kFastPathBatchTuples) {
+                  const uint64_t m = std::min<uint64_t>(
+                      n - base, partition::kFastPathBatchTuples);
+                  rows.GetBatch(base, m, batch);
+                  ctx.StoreRun(staging, stage_offset + base, batch, m);
+                }
+              } else {
+                for (uint64_t i = 0; i < n; ++i) {
+                  ctx.Store(staging, stage_offset + i, rows.Get(i));
+                }
               }
               ctx.WriteSeq(staging, stage_offset * sizeof(partition::Tuple),
                            n * sizeof(partition::Tuple));
@@ -287,8 +299,14 @@ util::StatusOr<join::JoinRun> TritonJoin::Run(exec::Device& dev,
                    checksum += out.checksum;
                    if (!out.pairs.empty()) {
                      uint64_t at = result_cursor;
-                     for (const partition::Tuple& t : out.pairs) {
-                       ctx.Store(result, result_cursor++, t);
+                     if (util::FastPathEnabled()) {
+                       ctx.StoreRun(result, at, out.pairs.data(),
+                                    out.pairs.size());
+                       result_cursor += out.pairs.size();
+                     } else {
+                       for (const partition::Tuple& t : out.pairs) {
+                         ctx.Store(result, result_cursor++, t);
+                       }
                      }
                      ctx.WriteSeq(result, at * sizeof(partition::Tuple),
                                   out.pairs.size() *

@@ -1,12 +1,67 @@
 #include "data/generator.h"
 
 #include <cmath>
+#include <cstring>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
+#include "util/fastpath.h"
 #include "util/logging.h"
 #include "util/random.h"
 
 namespace triton::data {
+
+namespace {
+
+/// Content cache for the most recently generated workload (fast path
+/// only). Benches rebuild the identical workload once per series at every
+/// sweep point, and the fill loops — a Fisher–Yates shuffle plus per-tuple
+/// RNG draws over hundreds of MiB — dominate host time for small kernels.
+/// A hit replays the exact bytes the fills would have produced into the
+/// freshly allocated buffers, so relation contents (and every modeled
+/// quantity derived from them) are bit-identical. Bounded so paper-scale
+/// workloads never pin gigabytes of host memory.
+struct WorkloadCache {
+  std::mutex mu;
+  bool valid = false;
+  WorkloadConfig config;
+  std::vector<Key> r_keys, s_keys;
+  std::vector<std::vector<Value>> r_payloads, s_payloads;
+};
+
+WorkloadCache& Cache() {
+  static WorkloadCache* cache = new WorkloadCache;
+  return *cache;
+}
+
+constexpr uint64_t kMaxCachedWorkloadBytes = 512ull << 20;
+
+bool SameConfig(const WorkloadConfig& a, const WorkloadConfig& b) {
+  return a.r_tuples == b.r_tuples && a.s_tuples == b.s_tuples &&
+         a.payload_cols == b.payload_cols && a.seed == b.seed &&
+         a.shuffle_keys == b.shuffle_keys && a.zipf_theta == b.zipf_theta;
+}
+
+void CopyInto(Relation& rel, const std::vector<Key>& keys,
+              const std::vector<std::vector<Value>>& payloads) {
+  std::memcpy(rel.keys(), keys.data(), keys.size() * sizeof(Key));
+  for (uint32_t c = 0; c < rel.payload_cols(); ++c) {
+    std::memcpy(rel.payload(c), payloads[c].data(),
+                payloads[c].size() * sizeof(Value));
+  }
+}
+
+void CopyOut(const Relation& rel, std::vector<Key>& keys,
+             std::vector<std::vector<Value>>& payloads) {
+  keys.assign(rel.keys(), rel.keys() + rel.rows());
+  payloads.resize(rel.payload_cols());
+  for (uint32_t c = 0; c < rel.payload_cols(); ++c) {
+    payloads[c].assign(rel.payload(c), rel.payload(c) + rel.rows());
+  }
+}
+
+}  // namespace
 
 void FillPrimaryKeys(Relation& rel, uint64_t seed, bool shuffle) {
   Key* keys = rel.keys();
@@ -82,15 +137,40 @@ util::StatusOr<Workload> GenerateWorkload(mem::Allocator& alloc,
   if (!s.ok()) return s.status();
   wl.s = std::move(s).value();
 
-  FillPrimaryKeys(wl.r, config.seed, config.shuffle_keys);
-  if (config.zipf_theta > 0.0) {
-    FillForeignKeysZipf(wl.s, config.r_tuples, config.zipf_theta,
-                        config.seed + 1);
-  } else {
-    FillForeignKeys(wl.s, config.r_tuples, config.seed + 1);
+  const uint64_t workload_bytes =
+      (config.r_tuples + config.s_tuples) *
+      (sizeof(Key) + config.payload_cols * sizeof(Value));
+  const bool cacheable = util::FastPathEnabled() &&
+                         workload_bytes <= kMaxCachedWorkloadBytes;
+  bool hit = false;
+  if (cacheable) {
+    WorkloadCache& cache = Cache();
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (cache.valid && SameConfig(cache.config, config)) {
+      CopyInto(wl.r, cache.r_keys, cache.r_payloads);
+      CopyInto(wl.s, cache.s_keys, cache.s_payloads);
+      hit = true;
+    }
   }
-  FillPayloads(wl.r, config.seed + 2);
-  FillPayloads(wl.s, config.seed + 3);
+  if (!hit) {
+    FillPrimaryKeys(wl.r, config.seed, config.shuffle_keys);
+    if (config.zipf_theta > 0.0) {
+      FillForeignKeysZipf(wl.s, config.r_tuples, config.zipf_theta,
+                          config.seed + 1);
+    } else {
+      FillForeignKeys(wl.s, config.r_tuples, config.seed + 1);
+    }
+    FillPayloads(wl.r, config.seed + 2);
+    FillPayloads(wl.s, config.seed + 3);
+    if (cacheable) {
+      WorkloadCache& cache = Cache();
+      std::lock_guard<std::mutex> lock(cache.mu);
+      cache.config = config;
+      CopyOut(wl.r, cache.r_keys, cache.r_payloads);
+      CopyOut(wl.s, cache.s_keys, cache.s_payloads);
+      cache.valid = true;
+    }
+  }
 
   // Primary-key/foreign-key join: every S tuple matches exactly one R tuple.
   wl.expected_join_cardinality = config.s_tuples;

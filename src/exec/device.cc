@@ -67,6 +67,38 @@ void KernelContext::SharedTlbAccess(uint64_t addr, sim::PageLocation loc,
   }
 }
 
+void KernelContext::SharedTlbRun(uint64_t addr, uint64_t size,
+                                 sim::PageLocation loc, bool with_latency) {
+  DCHECK_GT(size, 0u);
+  if (defer_tlb_) {
+    const uint64_t range = device_->hw_.tlb.l2_entry_range;
+    const TlbReplayKind kind =
+        with_latency ? TlbReplayKind::kLatency : TlbReplayKind::kRange;
+    for (uint64_t r = addr / range; r <= (addr + size - 1) / range; ++r) {
+      tlb_log_.push_back({r * range, loc, kind});
+    }
+    return;
+  }
+  sim::TranslationRunResult run =
+      device_->tlb_.TranslateRun(addr, size, loc, &counters_);
+  if (with_latency) {
+    random_latency_sum_ += run.latency_sum;
+    random_accesses_ += run.accesses;
+  }
+}
+
+void KernelContext::ResetForBlock(Device* device, const KernelConfig& config) {
+  device_ = device;
+  config_ = config;
+  san_ = nullptr;
+  san_fork_.reset();
+  counters_ = sim::PerfCounters{};
+  random_latency_sum_ = 0.0;
+  random_accesses_ = 0;
+  defer_tlb_ = true;
+  tlb_log_.clear();
+}
+
 sim::TranslationResult KernelContext::EscalateMiss(uint64_t addr,
                                                    sim::PageLocation loc,
                                                    sim::PerfCounters* counters) {
@@ -111,31 +143,53 @@ void KernelContext::ForEachBlock(
     uint32_t num_blocks,
     const std::function<void(KernelContext&, uint32_t)>& body) {
   CHECK(!defer_tlb_) << "ForEachBlock cannot nest inside a block";
-  std::vector<std::unique_ptr<KernelContext>> subs;
-  subs.reserve(num_blocks);
-  for (uint32_t b = 0; b < num_blocks; ++b) {
-    auto sub = std::make_unique<KernelContext>(device_, config_);
-    sub->defer_tlb_ = true;
-    if (san_ != nullptr) {
-      sub->san_fork_ = san_->Fork();
-      sub->san_ = sub->san_fork_.get();
+  // Sub-context arena: one frame per ForEachBlock, recycled across
+  // launches. This mirrors the mem::Allocator BeginArena/EndArena frame
+  // discipline for *host* objects — a launch used to heap-allocate one
+  // KernelContext (plus its replay-log vector) per block, which dominated
+  // small-kernel host time. Rewinding the simulated bump pointer instead
+  // would change addresses and therefore modeled TLB physics; recycling
+  // host contexts is invisible to the model. Thread-local so concurrent
+  // launches on different devices never share a frame; contexts are fully
+  // reinitialized (ResetForBlock) before each use and drop their sanitizer
+  // forks at frame close so nothing outlives the device.
+  //
+  // Worker threads must reach the *launching* thread's frame, so the
+  // dispatch lambda goes through an explicit pointer — a thread_local name
+  // inside the lambda would resolve to each worker's own (empty) arena.
+  thread_local std::vector<std::unique_ptr<KernelContext>> arena_tls;
+  std::vector<std::unique_ptr<KernelContext>>& arena = arena_tls;
+  if (arena.size() < num_blocks) {
+    arena.reserve(num_blocks);
+    while (arena.size() < num_blocks) {
+      arena.push_back(std::make_unique<KernelContext>(device_, config_));
     }
-    subs.push_back(std::move(sub));
   }
-  BlockExecutor::Global().Run(num_blocks,
-                              [&](uint32_t b) { body(*subs[b], b); });
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    KernelContext& sub = *arena[b];
+    sub.ResetForBlock(device_, config_);
+    if (san_ != nullptr) {
+      sub.san_fork_ = san_->Fork();
+      sub.san_ = sub.san_fork_.get();
+    }
+  }
+  const std::unique_ptr<KernelContext>* subs = arena.data();
+  BlockExecutor::Global().Run(
+      num_blocks, [subs, &body](uint32_t b) { body(*subs[b], b); });
   // Deterministic reduction: replay each block's shared-TLB log and merge
   // its counter shard and sanitizer state, strictly in block order. This is
   // the only place shared TLB state advances for these blocks, and the
   // replay order equals the serial execution order, so every counter and
   // latency is bit-identical to a single-threaded run.
   for (uint32_t b = 0; b < num_blocks; ++b) {
-    KernelContext& sub = *subs[b];
+    KernelContext& sub = *arena[b];
     sub.ReplayDeferredLog();
     counters_.Merge(sub.counters_);
     random_latency_sum_ += sub.random_latency_sum_;
     random_accesses_ += sub.random_accesses_;
     if (san_ != nullptr) san_->MergeBlock(*sub.san_fork_);
+    sub.san_fork_.reset();
+    sub.san_ = nullptr;
   }
 }
 
@@ -147,7 +201,6 @@ void KernelContext::ReadSeq(const mem::Buffer& buf, uint64_t offset,
   // runs of same-location pages are accounted in one shot. Translations are
   // replayed once per TLB entry range (sequential walks coalesce).
   const uint64_t page = buf.page_bytes();
-  const uint64_t range = device_->hw_.tlb.l2_entry_range;
   uint64_t pos = offset;
   uint64_t end = offset + size;
   while (pos < end) {
@@ -161,10 +214,8 @@ void KernelContext::ReadSeq(const mem::Buffer& buf, uint64_t offset,
     Account(buf.base_addr() + pos, run_end - pos, loc, /*is_write=*/false,
             /*is_random=*/false);
     // One translation per entry range touched by the run.
-    for (uint64_t r = (buf.base_addr() + pos) / range;
-         r <= (buf.base_addr() + run_end - 1) / range; ++r) {
-      SharedTlbAccess(r * range, loc, /*with_latency=*/false);
-    }
+    SharedTlbRun(buf.base_addr() + pos, run_end - pos, loc,
+                 /*with_latency=*/false);
     pos = run_end;
   }
 }
@@ -174,7 +225,6 @@ void KernelContext::WriteSeq(const mem::Buffer& buf, uint64_t offset,
   if (size == 0) return;
   DCHECK_LE(offset + size, buf.size());
   const uint64_t page = buf.page_bytes();
-  const uint64_t range = device_->hw_.tlb.l2_entry_range;
   uint64_t pos = offset;
   uint64_t end = offset + size;
   while (pos < end) {
@@ -187,10 +237,8 @@ void KernelContext::WriteSeq(const mem::Buffer& buf, uint64_t offset,
     }
     Account(buf.base_addr() + pos, run_end - pos, loc, /*is_write=*/true,
             /*is_random=*/false);
-    for (uint64_t r = (buf.base_addr() + pos) / range;
-         r <= (buf.base_addr() + run_end - 1) / range; ++r) {
-      SharedTlbAccess(r * range, loc, /*with_latency=*/false);
-    }
+    SharedTlbRun(buf.base_addr() + pos, run_end - pos, loc,
+                 /*with_latency=*/false);
     pos = run_end;
   }
 }
@@ -226,10 +274,7 @@ void KernelContext::Flush(const mem::Buffer& buf, uint64_t offset,
   // WriteRand path (one replay at the start address) under-counts. Inside
   // ForEachBlock the replay is deferred to the block-ordered reduction, so
   // a flush never mutates shared TLB state mid-kernel.
-  const uint64_t range = device_->hw_.tlb.l2_entry_range;
-  for (uint64_t r = addr / range; r <= (addr + size - 1) / range; ++r) {
-    SharedTlbAccess(r * range, loc, /*with_latency=*/true);
-  }
+  SharedTlbRun(addr, size, loc, /*with_latency=*/true);
 }
 
 Device::Device(const sim::HwSpec& hw)

@@ -24,6 +24,7 @@
 #define TRITON_EXEC_DEVICE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
@@ -158,6 +159,24 @@ class KernelContext : private sim::TlbEscalationSink {
     }
   }
 
+  /// Bulk Store: copies `count` elements from `src` into `buf` starting at
+  /// element `index` and records the whole run in the sanitizer's shadow
+  /// map in one shot. The shadow RangeSet merges adjacent intervals, so
+  /// one run record is identical to `count` per-element records — this is
+  /// the fast path's bulk primitive (see util/fastpath.h).
+  template <typename T>
+  void StoreRun(mem::Buffer& buf, uint64_t index, const T* src,
+                uint64_t count) {
+    if (count == 0) return;
+    const uint64_t offset = index * sizeof(T);
+    const uint64_t size = count * sizeof(T);
+    DCHECK_LE(offset + size, buf.size());
+    std::memcpy(buf.data() + offset, src, size);
+    if (san_ != nullptr) {
+      san_->RecordFunctionalWrite(buf.base_addr() + offset, size);
+    }
+  }
+
   /// Loads element `index` of `buf` viewed as a T array (bounds-checked).
   template <typename T>
   T Load(const mem::Buffer& buf, uint64_t index) const {
@@ -242,6 +261,19 @@ class KernelContext : private sim::TlbEscalationSink {
   /// sums (random accesses and flushes do; sequential walks do not).
   void SharedTlbAccess(uint64_t addr, sim::PageLocation loc,
                        bool with_latency);
+
+  /// Bulk form: one shared-TLB access per translation range covered by the
+  /// byte run [addr, addr + size), in ascending range order. Outside a
+  /// deferring sub-context this goes through TlbSimulator::TranslateRun in
+  /// one call; inside, one log entry per range is appended — either way
+  /// the replayed sequence equals a per-range SharedTlbAccess loop.
+  void SharedTlbRun(uint64_t addr, uint64_t size, sim::PageLocation loc,
+                    bool with_latency);
+
+  /// Reinitializes this context as a deferring sub-context of `device`,
+  /// keeping allocated log capacity (sub-context recycling, see the
+  /// context arena in device.cc).
+  void ResetForBlock(Device* device, const KernelConfig& config);
 
   /// sim::TlbEscalationSink: logs a block-local TLB miss for ordered
   /// replay. Only reachable on deferred sub-contexts via escalation_sink().

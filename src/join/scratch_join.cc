@@ -1,8 +1,10 @@
 #include "join/scratch_join.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "hash/bucket_chain_table.h"
+#include "util/fastpath.h"
 #include "util/logging.h"
 
 namespace triton::join {
@@ -107,9 +109,25 @@ void ScratchJoiner::JoinSlices(
     uint32_t radix_shift, mem::Buffer* result, uint64_t* result_cursor,
     uint64_t* matches, uint64_t* checksum) {
   const uint64_t first_matches = *matches;
+  // Fast path: stage matches in a chunk and store each chunk in one bulk
+  // write. Store order — and therefore the shadow write ranges — is
+  // identical to the per-match path.
+  const bool fast = util::FastPathEnabled() && result != nullptr;
+  constexpr uint64_t kChunkTuples = 4096;
+  std::vector<partition::Tuple> chunk;
+  if (fast) chunk.reserve(kChunkTuples);
+  auto drain_chunk = [&] {
+    if (chunk.empty()) return;
+    ctx.StoreRun(*result, *result_cursor, chunk.data(), chunk.size());
+    *result_cursor += chunk.size();
+    chunk.clear();
+  };
   JoinSlicesEmit(ctx, r_rows, r_slices, s_rows, s_slices, radix_shift,
                  [&](int64_t build_val, int64_t probe_val) {
-                   if (result != nullptr) {
+                   if (fast) {
+                     chunk.push_back(partition::Tuple{build_val, probe_val});
+                     if (chunk.size() == kChunkTuples) drain_chunk();
+                   } else if (result != nullptr) {
                      ctx.Store(*result, *result_cursor,
                                partition::Tuple{build_val, probe_val});
                      ++*result_cursor;
@@ -118,6 +136,7 @@ void ScratchJoiner::JoinSlices(
                    *checksum += static_cast<uint64_t>(build_val) +
                                 static_cast<uint64_t>(probe_val);
                  });
+  if (fast) drain_chunk();
 
   // Materialized matches stream out through coalesced linear-allocator
   // writes.

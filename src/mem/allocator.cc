@@ -3,19 +3,122 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/bits.h"
+#include "util/fastpath.h"
 #include "util/logging.h"
 #include "util/units.h"
 
 namespace triton::mem {
 
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TRITON_HOST_BLOCK_POOL 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define TRITON_HOST_BLOCK_POOL 0
+#else
+#define TRITON_HOST_BLOCK_POOL 1
+#endif
+#else
+#define TRITON_HOST_BLOCK_POOL 1
+#endif
+
+/// Process-wide pool of host storage blocks backing simulated buffers.
+/// Benches and the serve layer tear whole Devices down between cells and
+/// re-allocate the same buffer sizes immediately after; recycling the host
+/// blocks avoids re-faulting gigabytes per cell (and preserves huge-page
+/// backing once established). Host pointers are invisible to the model —
+/// simulated addresses come from the allocator's deterministic bump
+/// pointer — so pooling cannot change modeled physics. Disabled under
+/// ASan/TSan so lifetime bugs stay visible to the sanitizers.
+class HostBlockPool {
+ public:
+  struct Block {
+    void* data = nullptr;
+  };
+
+  static HostBlockPool& Get() {
+    static HostBlockPool* pool = new HostBlockPool;
+    return *pool;
+  }
+
+  Block Acquire(uint64_t bytes, uint64_t align) {
+#if TRITON_HOST_BLOCK_POOL
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = free_.find({bytes, align});
+      if (it != free_.end() && !it->second.empty()) {
+        void* p = it->second.back();
+        it->second.pop_back();
+        pooled_bytes_ -= bytes;
+        live_.emplace(p, std::pair<uint64_t, uint64_t>{bytes, align});
+        return {p};
+      }
+    }
+    void* p = std::aligned_alloc(align, bytes);
+    if (p != nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      live_.emplace(p, std::pair<uint64_t, uint64_t>{bytes, align});
+    }
+    return {p};
+#else
+    return {std::aligned_alloc(align, bytes)};
+#endif
+  }
+
+  /// Returns true if the pointer was pool-managed (retained or freed).
+  bool Release(void* p) {
+#if TRITON_HOST_BLOCK_POOL
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = live_.find(p);
+    if (it == live_.end()) return false;
+    auto [bytes, align] = it->second;
+    live_.erase(it);
+    if (!util::FastPathEnabled() ||
+        pooled_bytes_ + bytes > kMaxPooledBytes) {
+      std::free(p);
+      return true;
+    }
+    pooled_bytes_ += bytes;
+    free_[{bytes, align}].push_back(p);
+    return true;
+#else
+    (void)p;
+    return false;
+#endif
+  }
+
+ private:
+  static constexpr uint64_t kMaxPooledBytes = 2ull << 30;
+
+  std::mutex mu_;
+  uint64_t pooled_bytes_ = 0;
+  std::map<std::pair<uint64_t, uint64_t>, std::vector<void*>> free_;
+  std::unordered_map<void*, std::pair<uint64_t, uint64_t>> live_;
+};
+
+/// Free path for every host block: returns it to the pool when pooled,
+/// falls back to the libc allocator otherwise.
+void FreeHostBlock(void* p) {
+  if (p == nullptr) return;
+  if (!HostBlockPool::Get().Release(p)) std::free(p);
+}
+
+}  // namespace
+
 Buffer::~Buffer() {
   if (owner_ != nullptr) {
     owner_->Free(*this);
   } else if (data_ != nullptr) {
-    std::free(data_);
+    FreeHostBlock(data_);
     data_ = nullptr;
   }
 }
@@ -27,7 +130,7 @@ Buffer& Buffer::operator=(Buffer&& other) noexcept {
     if (owner_ != nullptr) {
       owner_->Free(*this);
     } else if (data_ != nullptr) {
-      std::free(data_);
+      FreeHostBlock(data_);
     }
     data_ = other.data_;
     size_ = other.size_;
@@ -145,7 +248,8 @@ util::StatusOr<Buffer> Allocator::AllocateImpl(uint64_t bytes,
   // Align host allocations to the simulated page size so that TLB-range
   // arithmetic on real pointers is exact.
   uint64_t align = std::min<uint64_t>(page, 1 * util::kMiB);
-  void* data = std::aligned_alloc(align, padded);
+  HostBlockPool::Block block = HostBlockPool::Get().Acquire(padded, align);
+  void* data = block.data;
   if (data == nullptr) {
     return util::Status::OutOfMemory("host allocation failed for " +
                                      util::FormatBytes(padded));
@@ -215,7 +319,7 @@ void Allocator::Free(Buffer& buffer) {
   gpu_used_ -= buffer.gpu_bytes_;
   cpu_used_ -= padded - buffer.gpu_bytes_;
   --live_buffers_;
-  std::free(buffer.data_);
+  FreeHostBlock(buffer.data_);
   buffer.data_ = nullptr;
   buffer.size_ = 0;
   buffer.gpu_bytes_ = 0;

@@ -6,6 +6,7 @@
 #include "partition/shared.h"
 #include "sanitizer/sanitizer.h"
 #include "util/bits.h"
+#include "util/fastpath.h"
 
 namespace triton::partition {
 
@@ -73,9 +74,18 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
       dev, input, layout, o, kPartitionCyclesPerTuple,
       [&](exec::KernelContext& ctx, internal::BlockState& st, const Input& in,
           uint64_t begin, uint64_t end) -> uint64_t {
-        std::vector<Tuple> l1(static_cast<uint64_t>(fanout) * l1_cap);
-        std::vector<uint32_t> l1_fill(fanout, 0);
-        std::vector<uint32_t> l2_fill(fanout, 0);
+        const uint64_t l1_tuples = static_cast<uint64_t>(fanout) * l1_cap;
+        std::vector<Tuple>& l1 =
+            internal::BlockScratch<Tuple, internal::kScratchHierTuples>(
+                l1_tuples);
+        std::vector<uint32_t>& l1_fill =
+            internal::BlockScratch<uint32_t, internal::kScratchHierL1Fill>(
+                fanout);
+        std::vector<uint32_t>& l2_fill =
+            internal::BlockScratch<uint32_t, internal::kScratchHierL2Fill>(
+                fanout);
+        std::fill_n(l1_fill.begin(), fanout, 0u);
+        std::fill_n(l2_fill.begin(), fanout, 0u);
         // This block's slice of the (block, partition)-major L2 staging
         // storage, in tuples.
         const uint64_t l2_base =
@@ -83,7 +93,7 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
         // L1 buffer locks use ids [0, fanout); the L2 buffers in GPU memory
         // are guarded by lock ids [fanout, 2 * fanout).
         sanitizer::ScratchpadShadow shadow(ctx.sanitizer(),
-                                           l1.size() * sizeof(Tuple),
+                                           l1_tuples * sizeof(Tuple),
                                            ctx.scratchpad_bytes());
         uint64_t flushes = 0;
 
@@ -96,11 +106,20 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
           shadow.AcquireLock(fanout + p, warp);
           shadow.NoteFlush(fanout + p, warp);
           uint64_t at = st.cursors[p];
-          for (uint32_t i = 0; i < count; ++i) {
-            ctx.Store(out, at + i,
-                      ctx.Load<Tuple>(
-                          *l2_storage,
-                          l2_base + static_cast<uint64_t>(p) * l2_cap + i));
+          if (util::FastPathEnabled()) {
+            // Bulk copy-out; Load is a bounds-checked read, so copying
+            // straight from the staging storage is functionally identical.
+            ctx.StoreRun(out, at,
+                         l2_storage->as<Tuple>() + l2_base +
+                             static_cast<uint64_t>(p) * l2_cap,
+                         count);
+          } else {
+            for (uint32_t i = 0; i < count; ++i) {
+              ctx.Store(out, at + i,
+                        ctx.Load<Tuple>(
+                            *l2_storage,
+                            l2_base + static_cast<uint64_t>(p) * l2_cap + i));
+            }
           }
           // Reading the staged tuples back out of GPU memory.
           ctx.ReadNoTlb(*l2_storage,
@@ -128,8 +147,14 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
           if (!have_l2) {
             // Degraded mode: flush L1 straight to the output.
             uint64_t at = st.cursors[p];
-            for (uint32_t i = 0; i < count; ++i) {
-              ctx.Store(out, at + i, l1[static_cast<uint64_t>(p) * l1_cap + i]);
+            if (util::FastPathEnabled()) {
+              ctx.StoreRun(out, at, &l1[static_cast<uint64_t>(p) * l1_cap],
+                           count);
+            } else {
+              for (uint32_t i = 0; i < count; ++i) {
+                ctx.Store(out, at + i,
+                          l1[static_cast<uint64_t>(p) * l1_cap + i]);
+              }
             }
             internal::AccountFlush(ctx, *st.tlb, out, at, count, p, warp);
             ctx.Charge(static_cast<uint64_t>(kFlushCycles));
@@ -138,11 +163,18 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
           } else {
             if (l2_fill[p] + count > l2_cap) flush_l2(p, l2_fill[p], warp);
             shadow.AcquireLock(fanout + p, warp);
-            for (uint32_t i = 0; i < count; ++i) {
-              ctx.Store(*l2_storage,
-                        l2_base + static_cast<uint64_t>(p) * l2_cap +
-                            l2_fill[p] + i,
-                        l1[static_cast<uint64_t>(p) * l1_cap + i]);
+            if (util::FastPathEnabled()) {
+              ctx.StoreRun(*l2_storage,
+                           l2_base + static_cast<uint64_t>(p) * l2_cap +
+                               l2_fill[p],
+                           &l1[static_cast<uint64_t>(p) * l1_cap], count);
+            } else {
+              for (uint32_t i = 0; i < count; ++i) {
+                ctx.Store(*l2_storage,
+                          l2_base + static_cast<uint64_t>(p) * l2_cap +
+                              l2_fill[p] + i,
+                          l1[static_cast<uint64_t>(p) * l1_cap + i]);
+              }
             }
             ctx.WriteNoTlb(*l2_storage,
                            (l2_base + static_cast<uint64_t>(p) * l2_cap +
@@ -159,16 +191,46 @@ PartitionRun HierarchicalPartitioner::Run(exec::Device& dev,
           shadow.ReleaseLock(p, warp);
         };
 
-        for (uint64_t i = begin; i < end; ++i) {
-          Tuple t = in.Get(i);
-          uint32_t p = radix.PartitionOf(t.key);
-          const uint32_t warp = internal::SimWarpOf(i - begin,
-                                                    ctx.warp_size());
-          if (l1_fill[p] == l1_cap) evict_l1(p, l1_cap, warp);
-          shadow.Store((static_cast<uint64_t>(p) * l1_cap + l1_fill[p]) *
-                           sizeof(Tuple),
-                       sizeof(Tuple), warp);
-          l1[static_cast<uint64_t>(p) * l1_cap + l1_fill[p]++] = t;
+        if (util::FastPathEnabled()) {
+          // Batched fill; see SharedPartitioner for the positional-identity
+          // argument (flush triggers and warp ids match the per-tuple
+          // path exactly).
+          const uint32_t ws = ctx.warp_size();
+          const bool shadow_on = ctx.sanitizer() != nullptr;
+          Tuple batch[kFastPathBatchTuples];
+          uint32_t pidx[kFastPathBatchTuples];
+          for (uint64_t base = begin; base < end;
+               base += kFastPathBatchTuples) {
+            const uint64_t m =
+                std::min<uint64_t>(end - base, kFastPathBatchTuples);
+            in.GetBatch(base, m, batch);
+            radix.PartitionsOf(batch, m, pidx);
+            for (uint64_t j = 0; j < m; ++j) {
+              const uint32_t p = pidx[j];
+              if (l1_fill[p] == l1_cap) {
+                evict_l1(p, l1_cap, internal::SimWarpOf(base + j - begin, ws));
+              }
+              if (shadow_on) {
+                shadow.Store(
+                    (static_cast<uint64_t>(p) * l1_cap + l1_fill[p]) *
+                        sizeof(Tuple),
+                    sizeof(Tuple), internal::SimWarpOf(base + j - begin, ws));
+              }
+              l1[static_cast<uint64_t>(p) * l1_cap + l1_fill[p]++] = batch[j];
+            }
+          }
+        } else {
+          for (uint64_t i = begin; i < end; ++i) {
+            Tuple t = in.Get(i);
+            uint32_t p = radix.PartitionOf(t.key);
+            const uint32_t warp = internal::SimWarpOf(i - begin,
+                                                      ctx.warp_size());
+            if (l1_fill[p] == l1_cap) evict_l1(p, l1_cap, warp);
+            shadow.Store((static_cast<uint64_t>(p) * l1_cap + l1_fill[p]) *
+                             sizeof(Tuple),
+                         sizeof(Tuple), warp);
+            l1[static_cast<uint64_t>(p) * l1_cap + l1_fill[p]++] = t;
+          }
         }
         // Drain both levels at end of input (leader warp 0).
         for (uint32_t p = 0; p < fanout; ++p) {

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -22,6 +23,13 @@ namespace triton::partition {
 
 /// 16-byte <key, value> tuple flowing through the partitioning pipeline.
 using Tuple = hash::Entry;
+
+/// Tuples fetched per fast-path batch (see util/fastpath.h): large enough
+/// to amortize per-batch overhead and let the partition-index loop
+/// vectorize, small enough that batch + index arrays stay in L1 (256
+/// tuples = 4 KiB of tuples + 1 KiB of indices) like a warp-per-thread
+/// register tile would on the real GPU.
+inline constexpr uint32_t kFastPathBatchTuples = 256;
 
 /// Columnar view over a base relation range (pass-1 input).
 class ColumnInput {
@@ -50,6 +58,31 @@ class ColumnInput {
                   ? values_->as<data::Value>()[offset_ + i]
                   : static_cast<data::Value>(offset_ + i);  // row id
     return t;
+  }
+
+  /// Bulk Get: fetches tuples [i, i + n) into `out` (fast-path batching;
+  /// element j equals Get(i + j) exactly).
+  void GetBatch(uint64_t i, uint64_t n, Tuple* out) const {
+    const data::Key* k = keys_->as<data::Key>() + offset_ + i;
+    if (values_ != nullptr) {
+      const data::Value* v = values_->as<data::Value>() + offset_ + i;
+      for (uint64_t j = 0; j < n; ++j) {
+        out[j].key = k[j];
+        out[j].value = v[j];
+      }
+    } else {
+      for (uint64_t j = 0; j < n; ++j) {
+        out[j].key = k[j];
+        out[j].value = static_cast<data::Value>(offset_ + i + j);  // row id
+      }
+    }
+  }
+
+  /// Bulk key fetch: keys of tuples [i, i + n) into `out` (histograms
+  /// touch only the key column).
+  void KeysBatch(uint64_t i, uint64_t n, data::Key* out) const {
+    std::memcpy(out, keys_->as<data::Key>() + offset_ + i,
+                n * sizeof(data::Key));
   }
 
   /// Accounts a sequential read of tuples [begin, end) of this view.
@@ -94,6 +127,15 @@ class RowInput {
 
   Tuple Get(uint64_t i) const { return rows_->as<Tuple>()[offset_ + i]; }
 
+  void GetBatch(uint64_t i, uint64_t n, Tuple* out) const {
+    std::memcpy(out, rows_->as<Tuple>() + offset_ + i, n * sizeof(Tuple));
+  }
+
+  void KeysBatch(uint64_t i, uint64_t n, data::Key* out) const {
+    const Tuple* rows = rows_->as<Tuple>() + offset_ + i;
+    for (uint64_t j = 0; j < n; ++j) out[j] = rows[j].key;
+  }
+
   void AccountRead(exec::KernelContext& ctx, uint64_t begin,
                    uint64_t end) const {
     ctx.ReadSeq(*rows_, (offset_ + begin) * sizeof(Tuple),
@@ -136,13 +178,42 @@ class SlicedRowInput {
 
   Tuple Get(uint64_t i) const {
     // Accesses are overwhelmingly sequential; cache the current slice.
-    if (i < starts_[cursor_] || i >= starts_[cursor_ + 1]) {
-      auto it = std::upper_bound(starts_.begin(), starts_.end(), i);
-      cursor_ = static_cast<size_t>(it - starts_.begin()) - 1;
-    }
+    Seek(i);
     const auto& [begin, count] = slices_[cursor_];
     (void)count;
     return rows_->as<Tuple>()[begin + (i - starts_[cursor_])];
+  }
+
+  /// Bulk Get across slice boundaries: each contiguous sub-run within one
+  /// slice is a memcpy; element j equals Get(i + j) exactly.
+  void GetBatch(uint64_t i, uint64_t n, Tuple* out) const {
+    const Tuple* rows = rows_->as<Tuple>();
+    uint64_t done = 0;
+    while (done < n) {
+      const uint64_t pos = i + done;
+      Seek(pos);
+      const uint64_t in_slice = pos - starts_[cursor_];
+      const uint64_t take =
+          std::min(n - done, slices_[cursor_].second - in_slice);
+      std::memcpy(out + done, rows + slices_[cursor_].first + in_slice,
+                  take * sizeof(Tuple));
+      done += take;
+    }
+  }
+
+  void KeysBatch(uint64_t i, uint64_t n, data::Key* out) const {
+    const Tuple* rows = rows_->as<Tuple>();
+    uint64_t done = 0;
+    while (done < n) {
+      const uint64_t pos = i + done;
+      Seek(pos);
+      const uint64_t in_slice = pos - starts_[cursor_];
+      const uint64_t take =
+          std::min(n - done, slices_[cursor_].second - in_slice);
+      const Tuple* src = rows + slices_[cursor_].first + in_slice;
+      for (uint64_t j = 0; j < take; ++j) out[done + j] = src[j].key;
+      done += take;
+    }
   }
 
   void AccountRead(exec::KernelContext& ctx, uint64_t begin,
@@ -165,6 +236,14 @@ class SlicedRowInput {
   uint64_t BytesPerTuple() const { return sizeof(Tuple); }
 
  private:
+  /// Points cursor_ at the slice containing flat index `i`.
+  void Seek(uint64_t i) const {
+    if (i < starts_[cursor_] || i >= starts_[cursor_ + 1]) {
+      auto it = std::upper_bound(starts_.begin(), starts_.end(), i);
+      cursor_ = static_cast<size_t>(it - starts_.begin()) - 1;
+    }
+  }
+
   const mem::Buffer* rows_;
   std::vector<std::pair<uint64_t, uint64_t>> slices_;
   std::vector<uint64_t> starts_;

@@ -1,8 +1,10 @@
 #include "partition/linear.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "sanitizer/sanitizer.h"
+#include "util/fastpath.h"
 
 namespace triton::partition {
 
@@ -34,23 +36,54 @@ PartitionRun LinearPartitioner::Run(exec::Device& dev, const Input& input,
       kPartitionCyclesPerTuple + kLinearExtraCyclesPerTuple,
       [&](exec::KernelContext& ctx, internal::BlockState& st, const Input& in,
           uint64_t begin, uint64_t end) -> uint64_t {
-        std::vector<uint32_t> counts(fanout);
+        std::vector<uint32_t>& counts =
+            internal::BlockScratch<uint32_t, internal::kScratchLinearCounts>(
+                fanout);
         sanitizer::ScratchpadShadow shadow(
             ctx.sanitizer(),
             static_cast<uint64_t>(batch_tuples) * sizeof(Tuple),
             ctx.scratchpad_bytes());
         uint64_t flushes = 0;
+        // Fast path: fetch and hash each scratchpad batch once into these
+        // per-block staging arrays, reusing the indices for the count and
+        // scatter loops (the per-tuple path hashes twice). Values and
+        // order are identical either way.
+        const bool fast = util::FastPathEnabled();
+        const bool shadow_on = ctx.sanitizer() != nullptr;
+        Tuple* staged = nullptr;
+        uint32_t* pidx = nullptr;
+        if (fast) {
+          staged = internal::BlockScratch<
+                       Tuple, internal::kScratchLinearStaged>(batch_tuples)
+                       .data();
+          pidx = internal::BlockScratch<
+                     uint32_t, internal::kScratchLinearPidx>(batch_tuples)
+                     .data();
+        }
         for (uint64_t base = begin; base < end; base += batch_tuples) {
           uint64_t batch_end = std::min(end, base + batch_tuples);
+          const uint64_t m = batch_end - base;
           // Sort the batch by partition inside the scratchpad (functional
           // equivalent: per-partition run counting; the reorder itself is
           // scratchpad-local and charged via the cycle constant). Each
           // tuple is staged once into the arena by its owning warp.
-          std::fill(counts.begin(), counts.end(), 0u);
-          for (uint64_t i = base; i < batch_end; ++i) {
-            ++counts[radix.PartitionOf(in.Get(i).key)];
-            shadow.Store((i - base) * sizeof(Tuple), sizeof(Tuple),
-                         internal::SimWarpOf(i - base, ctx.warp_size()));
+          std::fill_n(counts.begin(), fanout, 0u);
+          if (fast) {
+            in.GetBatch(base, m, staged);
+            radix.PartitionsOf(staged, m, pidx);
+            for (uint64_t i = 0; i < m; ++i) {
+              ++counts[pidx[i]];
+              if (shadow_on) {
+                shadow.Store(i * sizeof(Tuple), sizeof(Tuple),
+                             internal::SimWarpOf(i, ctx.warp_size()));
+              }
+            }
+          } else {
+            for (uint64_t i = base; i < batch_end; ++i) {
+              ++counts[radix.PartitionOf(in.Get(i).key)];
+              shadow.Store((i - base) * sizeof(Tuple), sizeof(Tuple),
+                           internal::SimWarpOf(i - base, ctx.warp_size()));
+            }
           }
           // Flush each partition's run to its cursor. Run lengths are
           // data-dependent and cursors are not re-aligned, so coalescing is
@@ -64,10 +97,16 @@ PartitionRun LinearPartitioner::Run(exec::Device& dev, const Input& input,
           // Functional scatter (stable within the batch); the flush is a
           // block-wide synchronization point, after which the arena is
           // reusable for the next batch.
-          shadow.Load(0, (batch_end - base) * sizeof(Tuple), /*warp=*/0);
-          for (uint64_t i = base; i < batch_end; ++i) {
-            Tuple t = in.Get(i);
-            ctx.Store(out, st.cursors[radix.PartitionOf(t.key)]++, t);
+          shadow.Load(0, m * sizeof(Tuple), /*warp=*/0);
+          if (fast) {
+            for (uint64_t i = 0; i < m; ++i) {
+              ctx.Store(out, st.cursors[pidx[i]]++, staged[i]);
+            }
+          } else {
+            for (uint64_t i = base; i < batch_end; ++i) {
+              Tuple t = in.Get(i);
+              ctx.Store(out, st.cursors[radix.PartitionOf(t.key)]++, t);
+            }
           }
           shadow.SyncRange(0,
                            static_cast<uint64_t>(batch_tuples) *

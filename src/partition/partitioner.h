@@ -96,6 +96,38 @@ struct BlockState {
   sim::BlockTlb* tlb = nullptr;
 };
 
+/// Distinct tags for BlockScratch instantiations, one per call site, so
+/// two live scratch users on the same thread can never alias.
+enum ScratchTag {
+  kScratchSharedTuples,
+  kScratchSharedFill,
+  kScratchHierTuples,
+  kScratchHierL1Fill,
+  kScratchHierL2Fill,
+  kScratchLinearCounts,
+  kScratchLinearStaged,
+  kScratchLinearPidx,
+  kScratchStandardRuns,
+  kScratchStandardTouched,
+};
+
+/// Reusable per-worker-thread scratch vector, grown to at least `n`
+/// elements. Per-block lambdas run thousands of times per kernel launch;
+/// constructing their staging vectors fresh per block (a heap allocation
+/// plus zero-initialization of up to a scratchpad's worth of tuples)
+/// dominates host time at high fanout. Blocks execute sequentially on each
+/// worker thread and never nest, so one buffer per (type, tag, thread) is
+/// safe to reuse. The contents are host-side staging whose elements are
+/// always written before being read (fill counters gate every read), so
+/// reuse is invisible to modeled physics. Callers needing zeroed elements
+/// must clear [0, n) themselves.
+template <typename T, ScratchTag Tag>
+inline std::vector<T>& BlockScratch(uint64_t n) {
+  thread_local std::vector<T> v;
+  if (v.size() < n) v.resize(n);
+  return v;
+}
+
 /// Warps a simulated thread block schedules (a typical 256-thread block).
 /// The kernel drivers consume the input in warp-sized batches round-robined
 /// over these warps; the id feeds the sanitizer's racecheck and the
@@ -118,11 +150,8 @@ inline void AccountFlush(exec::KernelContext& ctx, sim::BlockTlb& tlb,
   const uint64_t offset = at * sizeof(Tuple);
   const uint64_t size = count * sizeof(Tuple);
   ctx.WriteNoTlb(out, offset, size, /*random=*/true);
-  const uint64_t range = ctx.hw().tlb.l2_entry_range;
-  const uint64_t addr = out.base_addr() + offset;
-  for (uint64_t r = addr / range; r <= (addr + size - 1) / range; ++r) {
-    tlb.Access(r * range, out.LocationOf(offset), &ctx.counters());
-  }
+  tlb.AccessRun(out.base_addr() + offset, size, out.LocationOf(offset),
+                &ctx.counters());
 }
 
 /// Shared kernel driver: splits the input into per-block chunks, accounts
@@ -165,7 +194,11 @@ PartitionRun RunPartitionKernel(exec::Device& dev, const Input& input,
       block_input.AccountRead(sub, begin, end);
 
       sim::BlockTlb tlb(dev.hw().tlb, num_blocks, sub.escalation_sink());
-      BlockState state;
+      // One BlockState per worker thread: each worker runs blocks strictly
+      // sequentially, so reusing the cursors vector's storage across
+      // blocks saves an allocation per block; every slot is overwritten
+      // below before per_block sees it.
+      thread_local BlockState state;
       state.block = b;
       state.tlb = &tlb;
       state.cursors.resize(fanout);

@@ -1,8 +1,10 @@
 #include "partition/shared.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "sanitizer/sanitizer.h"
+#include "util/fastpath.h"
 
 namespace triton::partition {
 
@@ -39,10 +41,16 @@ PartitionRun SharedPartitioner::Run(exec::Device& dev, const Input& input,
       [&](exec::KernelContext& ctx, internal::BlockState& st, const Input& in,
           uint64_t begin, uint64_t end) -> uint64_t {
         // Block-shared scratchpad buffers: one per partition, `cap` tuples.
-        std::vector<Tuple> buffers(static_cast<uint64_t>(fanout) * cap);
-        std::vector<uint32_t> fill(fanout, 0);
+        const uint64_t buf_tuples = static_cast<uint64_t>(fanout) * cap;
+        std::vector<Tuple>& buffers =
+            internal::BlockScratch<Tuple, internal::kScratchSharedTuples>(
+                buf_tuples);
+        std::vector<uint32_t>& fill =
+            internal::BlockScratch<uint32_t, internal::kScratchSharedFill>(
+                fanout);
+        std::fill_n(fill.begin(), fanout, 0u);
         sanitizer::ScratchpadShadow shadow(ctx.sanitizer(),
-                                           buffers.size() * sizeof(Tuple),
+                                           buf_tuples * sizeof(Tuple),
                                            ctx.scratchpad_bytes());
         uint64_t flushes = 0;
 
@@ -57,8 +65,14 @@ PartitionRun SharedPartitioner::Run(exec::Device& dev, const Input& input,
           shadow.Load(buf_off, static_cast<uint64_t>(count) * sizeof(Tuple),
                       warp);
           uint64_t at = st.cursors[p];
-          for (uint32_t i = 0; i < count; ++i) {
-            ctx.Store(out, at + i, buffers[static_cast<uint64_t>(p) * cap + i]);
+          if (util::FastPathEnabled()) {
+            ctx.StoreRun(out, at, &buffers[static_cast<uint64_t>(p) * cap],
+                         count);
+          } else {
+            for (uint32_t i = 0; i < count; ++i) {
+              ctx.Store(out, at + i,
+                        buffers[static_cast<uint64_t>(p) * cap + i]);
+            }
           }
           internal::AccountFlush(ctx, *st.tlb, out, at, count, p, warp);
           ctx.Charge(static_cast<uint64_t>(kFlushCycles));
@@ -72,16 +86,48 @@ PartitionRun SharedPartitioner::Run(exec::Device& dev, const Input& input,
         // Fill phase: every thread hashes its tuple and acquires a buffer
         // slot; a thread hitting a full buffer triggers the flush phase for
         // that buffer (Figure 8's steps, warp-synchronous).
-        for (uint64_t i = begin; i < end; ++i) {
-          Tuple t = in.Get(i);
-          uint32_t p = radix.PartitionOf(t.key);
-          const uint32_t warp = internal::SimWarpOf(i - begin,
-                                                    ctx.warp_size());
-          if (fill[p] == cap) flush(p, cap, warp);
-          shadow.Store((static_cast<uint64_t>(p) * cap + fill[p]) *
-                           sizeof(Tuple),
-                       sizeof(Tuple), warp);
-          buffers[static_cast<uint64_t>(p) * cap + fill[p]++] = t;
+        if (util::FastPathEnabled()) {
+          // Batched fill: fetch a tuple tile, compute all partition
+          // indices in one vectorizable pass, then place. Flush trigger
+          // points and warp provenance are positional, so they match the
+          // per-tuple path exactly; the per-tuple shadow stores only
+          // matter (and only run) when the sanitizer is on.
+          const uint32_t ws = ctx.warp_size();
+          const bool shadow_on = ctx.sanitizer() != nullptr;
+          Tuple batch[kFastPathBatchTuples];
+          uint32_t pidx[kFastPathBatchTuples];
+          for (uint64_t base = begin; base < end;
+               base += kFastPathBatchTuples) {
+            const uint64_t m =
+                std::min<uint64_t>(end - base, kFastPathBatchTuples);
+            in.GetBatch(base, m, batch);
+            radix.PartitionsOf(batch, m, pidx);
+            for (uint64_t j = 0; j < m; ++j) {
+              const uint32_t p = pidx[j];
+              if (fill[p] == cap) {
+                flush(p, cap, internal::SimWarpOf(base + j - begin, ws));
+              }
+              if (shadow_on) {
+                shadow.Store((static_cast<uint64_t>(p) * cap + fill[p]) *
+                                 sizeof(Tuple),
+                             sizeof(Tuple),
+                             internal::SimWarpOf(base + j - begin, ws));
+              }
+              buffers[static_cast<uint64_t>(p) * cap + fill[p]++] = batch[j];
+            }
+          }
+        } else {
+          for (uint64_t i = begin; i < end; ++i) {
+            Tuple t = in.Get(i);
+            uint32_t p = radix.PartitionOf(t.key);
+            const uint32_t warp = internal::SimWarpOf(i - begin,
+                                                      ctx.warp_size());
+            if (fill[p] == cap) flush(p, cap, warp);
+            shadow.Store((static_cast<uint64_t>(p) * cap + fill[p]) *
+                             sizeof(Tuple),
+                         sizeof(Tuple), warp);
+            buffers[static_cast<uint64_t>(p) * cap + fill[p]++] = t;
+          }
         }
         // End of input: the leader warp drains the partially filled buffers.
         for (uint32_t p = 0; p < fanout; ++p) {

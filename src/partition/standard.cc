@@ -1,5 +1,9 @@
 #include "partition/standard.h"
 
+#include <algorithm>
+
+#include "util/fastpath.h"
+
 namespace triton::partition {
 
 template <typename Input>
@@ -21,16 +25,38 @@ PartitionRun StandardPartitioner::Run(exec::Device& dev, const Input& input,
         // shrink to single tuples and every write is a 16-byte packet.
         const uint32_t warp = ctx.warp_size();
         const uint32_t fanout = radix.fanout();
-        std::vector<uint32_t> run_count(fanout, 0);
-        std::vector<uint32_t> touched;
+        std::vector<uint32_t>& run_count =
+            internal::BlockScratch<uint32_t,
+                                   internal::kScratchStandardRuns>(fanout);
+        std::fill_n(run_count.begin(), fanout, 0u);
+        std::vector<uint32_t>& touched =
+            internal::BlockScratch<uint32_t,
+                                   internal::kScratchStandardTouched>(0);
+        touched.clear();
         touched.reserve(warp);
         uint64_t writes = 0;
+        const bool fast = util::FastPathEnabled();
+        // Fast path: fetch and hash each warp's tuples once, then reuse the
+        // indices for both the run-count and scatter loops (the per-tuple
+        // path below computes them twice). Values and order are identical.
+        Tuple batch[64];
+        uint32_t pidx[64];
+        CHECK_LE(warp, 64u);
         for (uint64_t i = begin; i < end; i += warp) {
           uint64_t batch_end = std::min(end, i + warp);
           const uint32_t sim_warp = internal::SimWarpOf(i - begin, warp);
-          for (uint64_t j = i; j < batch_end; ++j) {
-            uint32_t p = radix.PartitionOf(in.Get(j).key);
-            if (run_count[p]++ == 0) touched.push_back(p);
+          if (fast) {
+            const uint64_t m = batch_end - i;
+            in.GetBatch(i, m, batch);
+            radix.PartitionsOf(batch, m, pidx);
+            for (uint64_t j = 0; j < m; ++j) {
+              if (run_count[pidx[j]]++ == 0) touched.push_back(pidx[j]);
+            }
+          } else {
+            for (uint64_t j = i; j < batch_end; ++j) {
+              uint32_t p = radix.PartitionOf(in.Get(j).key);
+              if (run_count[p]++ == 0) touched.push_back(p);
+            }
           }
           for (uint32_t p : touched) {
             uint64_t at = st.cursors[p];
@@ -40,9 +66,16 @@ PartitionRun StandardPartitioner::Run(exec::Device& dev, const Input& input,
             run_count[p] = 0;
           }
           touched.clear();
-          for (uint64_t j = i; j < batch_end; ++j) {
-            Tuple t = in.Get(j);
-            ctx.Store(out, st.cursors[radix.PartitionOf(t.key)]++, t);
+          if (fast) {
+            const uint64_t m = batch_end - i;
+            for (uint64_t j = 0; j < m; ++j) {
+              ctx.Store(out, st.cursors[pidx[j]]++, batch[j]);
+            }
+          } else {
+            for (uint64_t j = i; j < batch_end; ++j) {
+              Tuple t = in.Get(j);
+              ctx.Store(out, st.cursors[radix.PartitionOf(t.key)]++, t);
+            }
           }
         }
         return writes;

@@ -47,6 +47,19 @@ TranslationResult BlockTlb::Access(uint64_t addr, PageLocation loc,
   return shared_iotlb_->EscalateMiss(addr, loc, counters);
 }
 
+TranslationRunResult BlockTlb::AccessRun(uint64_t addr, uint64_t size,
+                                         PageLocation loc,
+                                         PerfCounters* counters) {
+  TranslationRunResult run;
+  const uint64_t range = spec_.l2_entry_range;
+  for (uint64_t r = addr / range; r <= (addr + size - 1) / range; ++r) {
+    TranslationResult tr = Access(r * range, loc, counters);
+    run.latency_sum += tr.latency;
+    ++run.accesses;
+  }
+  return run;
+}
+
 void BlockTlb::Flush() {
   l1_.Flush();
   l2_slice_.Flush();

@@ -37,6 +37,13 @@ class BlockTlb {
   TranslationResult Access(uint64_t addr, PageLocation loc,
                            PerfCounters* counters);
 
+  /// Bulk translation of the contiguous byte run [addr, addr + size): one
+  /// Access per translation range the run touches, in ascending order —
+  /// the exact sequence a per-range loop at the call site would issue.
+  /// `size` must be non-zero.
+  TranslationRunResult AccessRun(uint64_t addr, uint64_t size,
+                                 PageLocation loc, PerfCounters* counters);
+
   /// Invalidates the block-local levels (kernel relaunch).
   void Flush();
 

@@ -17,34 +17,6 @@ TranslationCache::TranslationCache(uint64_t coverage_bytes,
   stamp_.assign(num_sets_ * ways_, 0);
 }
 
-bool TranslationCache::Access(uint64_t addr) {
-  ++lookups_;
-  ++clock_;
-  uint64_t range_id = addr / range_bytes_;
-  // Mix bits so contiguous ranges spread over sets.
-  uint64_t h = range_id * 0x9e3779b97f4a7c15ULL;
-  uint64_t set = (h >> 32) & (num_sets_ - 1);
-  uint64_t base = set * ways_;
-  uint64_t tag = range_id + 1;
-
-  uint32_t victim = 0;
-  uint64_t victim_stamp = UINT64_MAX;
-  for (uint32_t w = 0; w < ways_; ++w) {
-    if (tags_[base + w] == tag) {
-      stamp_[base + w] = clock_;
-      return true;
-    }
-    if (stamp_[base + w] < victim_stamp) {
-      victim_stamp = stamp_[base + w];
-      victim = w;
-    }
-  }
-  ++misses_;
-  tags_[base + victim] = tag;
-  stamp_[base + victim] = clock_;
-  return false;
-}
-
 void TranslationCache::Flush() {
   std::fill(tags_.begin(), tags_.end(), 0);
   std::fill(stamp_.begin(), stamp_.end(), 0);
@@ -88,6 +60,20 @@ TranslationResult TlbSimulator::Access(uint64_t addr, PageLocation loc,
     return result;
   }
   return IommuAccess(addr, counters);
+}
+
+TranslationRunResult TlbSimulator::TranslateRun(uint64_t addr, uint64_t size,
+                                                PageLocation loc,
+                                                PerfCounters* counters) {
+  DCHECK_GT(size, 0u);
+  TranslationRunResult run;
+  const uint64_t range = spec_.l2_entry_range;
+  for (uint64_t r = addr / range; r <= (addr + size - 1) / range; ++r) {
+    TranslationResult tr = Access(r * range, loc, counters);
+    run.latency_sum += tr.latency;
+    ++run.accesses;
+  }
+  return run;
 }
 
 TranslationResult TlbSimulator::IommuAccess(uint64_t addr,

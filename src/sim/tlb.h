@@ -35,8 +35,36 @@ class TranslationCache {
                    uint32_t ways = 8);
 
   /// Looks up the range containing `addr`; inserts it on miss.
-  /// Returns true on hit.
-  bool Access(uint64_t addr);
+  /// Returns true on hit. Defined inline: this is the innermost call of
+  /// every simulated memory access (hundreds of millions per bench), and
+  /// the set probe loop is small enough that call overhead dominates it.
+  bool Access(uint64_t addr) {
+    ++lookups_;
+    ++clock_;
+    uint64_t range_id = addr / range_bytes_;
+    // Mix bits so contiguous ranges spread over sets.
+    uint64_t h = range_id * 0x9e3779b97f4a7c15ULL;
+    uint64_t set = (h >> 32) & (num_sets_ - 1);
+    uint64_t base = set * ways_;
+    uint64_t tag = range_id + 1;
+
+    uint32_t victim = 0;
+    uint64_t victim_stamp = UINT64_MAX;
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == tag) {
+        stamp_[base + w] = clock_;
+        return true;
+      }
+      if (stamp_[base + w] < victim_stamp) {
+        victim_stamp = stamp_[base + w];
+        victim = w;
+      }
+    }
+    ++misses_;
+    tags_[base + victim] = tag;
+    stamp_[base + victim] = clock_;
+    return false;
+  }
 
   /// Invalidates all entries (the CUDA runtime flushes GPU TLBs at kernel
   /// launch; mprotect flushes the IOTLB).
@@ -75,6 +103,15 @@ struct TranslationResult {
   double latency = 0.0;
 };
 
+/// Aggregate outcome of a bulk translation: one Access per translation
+/// range covered by a contiguous byte run (see TlbSimulator::TranslateRun).
+struct TranslationRunResult {
+  /// Ranges translated (== Access calls performed).
+  uint64_t accesses = 0;
+  /// Sum of the per-access outcome latencies in seconds.
+  double latency_sum = 0.0;
+};
+
 /// Destination for TLB misses that escalate past block-local levels.
 ///
 /// sim::BlockTlb models the per-SM L1 and shared-slice levels itself and
@@ -104,6 +141,13 @@ class TlbSimulator : public TlbEscalationSink {
   /// outcome with its latency.
   TranslationResult Access(uint64_t addr, PageLocation loc,
                            PerfCounters* counters);
+
+  /// Bulk translation of the contiguous byte run [addr, addr + size):
+  /// performs exactly one Access per translation range the run touches, in
+  /// ascending range order — the same sequence the per-access hot loops
+  /// would replay — and returns the aggregate. `size` must be non-zero.
+  TranslationRunResult TranslateRun(uint64_t addr, uint64_t size,
+                                    PageLocation loc, PerfCounters* counters);
 
   /// Handles an access that already missed the GPU-side TLB levels (used
   /// by BlockTlb, which models those levels itself). For CPU-memory pages

@@ -1,0 +1,35 @@
+#include "util/fastpath.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace triton::util {
+namespace {
+
+// -1 = undecided, 0 = off, 1 = on.
+std::atomic<int> g_fastpath{-1};
+
+bool DisabledByEnv() {
+  const char* env = std::getenv("TRITON_FASTPATH");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+         std::strcmp(env, "off") == 0;
+}
+
+}  // namespace
+
+bool FastPathEnabled() {
+  int state = g_fastpath.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = DisabledByEnv() ? 0 : 1;
+    g_fastpath.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void SetFastPathEnabled(bool enabled) {
+  g_fastpath.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace triton::util

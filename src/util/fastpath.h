@@ -1,0 +1,30 @@
+// Runtime switch for the simulator's batched ("fast path") hot loops.
+//
+// The fast path changes how the host computes the simulation — batched
+// tuple fetch + partition-index computation, memcpy-style bulk stores, and
+// bulk TLB-range translation — but never what is modeled: results,
+// PerfCounters, TLB replay sequences and sanitizer diagnostics are
+// bit-identical to the per-tuple reference path. The reference path is kept
+// as the executable specification; tests/fastpath_test.cc asserts the
+// equivalence.
+//
+// Default is on. Set TRITON_FASTPATH=0 in the environment (or call
+// SetFastPathEnabled(false)) to fall back to the per-tuple path.
+
+#ifndef TRITON_UTIL_FASTPATH_H_
+#define TRITON_UTIL_FASTPATH_H_
+
+namespace triton::util {
+
+/// True when the batched hot loops are enabled (the default). The first
+/// call reads the TRITON_FASTPATH environment variable ("0", "false" or
+/// "off" disable); the result is cached afterwards.
+bool FastPathEnabled();
+
+/// Programmatic override (tests flip this to compare both paths in one
+/// process). Takes precedence over the environment from this point on.
+void SetFastPathEnabled(bool enabled);
+
+}  // namespace triton::util
+
+#endif  // TRITON_UTIL_FASTPATH_H_

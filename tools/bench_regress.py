@@ -29,10 +29,12 @@ import shutil
 import sys
 
 # Figures every run must produce; a missing report fails the gate.
+# "micro" is the simulator-primitive microbenchmark suite (bench/micro/);
+# its modeled half is gated exactly like the paper figures.
 EXPECTED_FIGURES = [
     "fig01", "fig04", "fig06", "fig07", "fig13", "fig14", "fig15", "fig16",
     "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
-    "ablation", "ext_skew", "ext_pcie", "ext_serve",
+    "ablation", "ext_skew", "ext_pcie", "ext_serve", "micro",
 ]
 
 SCHEMA_VERSION = 1
@@ -237,6 +239,24 @@ def check_ext_serve(figure, report):
                      f"(want last >= 0.5x first)")
 
 
+def check_micro(figure, report):
+    # The microbench suite embeds its own invariants: the sanitizer shadow
+    # round-trips must be violation-free, and the per-tuple and bulk
+    # functional-store variants must produce identical buffer checksums
+    # (the report-level face of the in-binary bit-identity probe).
+    shadow = series(report, "sanitizer-shadow")
+    if not shadow or any(value(p) != 0 for p in shadow):
+        fail(figure, "sanitizer-shadow reported violations (want 0)")
+    per_tuple = series(report, "store-per-tuple")
+    bulk = series(report, "store-run")
+    if not per_tuple or not bulk:
+        fail(figure, f"missing store series; have {series_names(report)}")
+        return
+    if value(per_tuple[0]) != value(bulk[0]):
+        fail(figure, f"store checksums diverge: per-tuple "
+                     f"{value(per_tuple[0])!r} vs bulk {value(bulk[0])!r}")
+
+
 SHAPE_CHECKS = {
     "fig01": check_fig01,
     "fig07": check_fig07,
@@ -246,6 +266,7 @@ SHAPE_CHECKS = {
     "fig19": check_fig19,
     "ext_pcie": check_ext_pcie,
     "ext_serve": check_ext_serve,
+    "micro": check_micro,
 }
 
 
@@ -293,10 +314,24 @@ def main():
     parser.add_argument("--update", action="store_true",
                         help="refresh the baselines from --fresh after the "
                              "shape checks pass")
+    parser.add_argument("--figures", default=None,
+                        help="comma-separated subset of figures to gate "
+                             "(default: all); e.g. --figures micro or "
+                             "--figures fig13,fig18")
     args = parser.parse_args()
 
+    if args.figures is None:
+        figures = EXPECTED_FIGURES
+    else:
+        figures = [f.strip() for f in args.figures.split(",") if f.strip()]
+        unknown = [f for f in figures if f not in EXPECTED_FIGURES]
+        if unknown:
+            print(f"bench_regress: unknown figure(s) {unknown}; expected "
+                  f"among {EXPECTED_FIGURES}", file=sys.stderr)
+            return 2
+
     identical = 0
-    for figure in EXPECTED_FIGURES:
+    for figure in figures:
         name = f"BENCH_{figure}.json"
         fresh_path = os.path.join(args.fresh, name)
         if not os.path.exists(fresh_path):
@@ -331,14 +366,14 @@ def main():
 
     if args.update:
         os.makedirs(args.baselines, exist_ok=True)
-        for figure in EXPECTED_FIGURES:
+        for figure in figures:
             name = f"BENCH_{figure}.json"
             shutil.copyfile(os.path.join(args.fresh, name),
                             os.path.join(args.baselines, name))
-        print(f"bench_regress: refreshed {len(EXPECTED_FIGURES)} baselines "
+        print(f"bench_regress: refreshed {len(figures)} baselines "
               f"in {args.baselines} (shape checks passed)")
     else:
-        print(f"bench_regress: {identical}/{len(EXPECTED_FIGURES)} reports "
+        print(f"bench_regress: {identical}/{len(figures)} reports "
               f"byte-identical to baselines; all shape checks passed")
     return 0
 

@@ -2,18 +2,24 @@
 # Runs every bench binary in the baseline configuration and collects the
 # BENCH_<figure>.json reports into one directory.
 #
-# Usage: tools/run_benches.sh <bench-bin-dir> <out-dir>
+# Usage: tools/run_benches.sh <bench-bin-dir> <out-dir> [threads] [jobs]
 #
 # The baseline configuration is --scale=256 --quick --runs=1: small enough
 # for CI, deterministic by construction (modeled time and counters are
 # bit-identical at any --threads setting), so the reports can be compared
 # byte for byte against the committed baselines in bench/baselines/.
+#
+# `threads` (default 2) is forwarded as --threads; `jobs` (default 1) as
+# --jobs (concurrent measurement cells, benches that support it). Neither
+# may change the JSON bytes — they only trade host wall-clock.
 set -euo pipefail
 
-if [[ $# -ne 2 ]]; then
-  echo "usage: $0 <bench-bin-dir> <out-dir>" >&2
+if [[ $# -lt 2 || $# -gt 4 ]]; then
+  echo "usage: $0 <bench-bin-dir> <out-dir> [threads] [jobs]" >&2
   exit 2
 fi
+threads=${3:-2}
+jobs=${4:-1}
 
 bin_dir=$(cd "$1" && pwd)
 mkdir -p "$2"
@@ -26,14 +32,15 @@ if [[ ${#benches[@]} -eq 0 || ! -x ${benches[0]} ]]; then
 fi
 
 # Run from the output directory so the default BENCH_<figure>.json paths
-# land there. --csv and --threads=2 exercise the other printers and the
-# parallel executor; neither may change the JSON bytes.
+# land there. --csv and the non-default --threads exercise the other
+# printers and the parallel executor; neither may change the JSON bytes.
 cd "${out_dir}"
 for bench in "${benches[@]}"; do
   [[ -x ${bench} && ! -d ${bench} ]] || continue
   name=$(basename "${bench}")
   echo "=== ${name}"
-  "${bench}" --scale=256 --quick --runs=1 --threads=2 --csv --json \
+  "${bench}" --scale=256 --quick --runs=1 --threads="${threads}" \
+    --jobs="${jobs}" --csv --json \
     > "${name}.log" 2>&1 || {
     status=$?
     echo "error: ${name} exited with ${status}; log follows" >&2
