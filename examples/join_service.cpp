@@ -50,6 +50,13 @@ int main(int argc, char** argv) {
     join.r_tuples = 50000 + 5000 * t;
     join.s_tuples = 80000 + 8000 * t;
     join.seed = seed * 100 + t;
+    // Round-robin the execution backend: GPU Triton join, CPU radix join
+    // (reserves no GPU budget, so it co-schedules with GPU queries), and
+    // the CPU+GPU co-processing scheduler.
+    const exec::Backend backends[] = {exec::Backend::kGpu,
+                                      exec::Backend::kCpu,
+                                      exec::Backend::kHybrid};
+    join.backend = backends[t % 3];
 
     serve::Request agg;
     agg.tenant = t;

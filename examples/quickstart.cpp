@@ -5,13 +5,23 @@
 // per-kernel phase breakdown, cache statistics and interconnect counters.
 //
 //   ./quickstart [--mtuples=512] [--scale=64] [--ratio=3]
+//                [--backend=cpu|gpu|hybrid]
+//
+// --backend selects the execution engine: the GPU Triton join (default),
+// the CPU-only radix join, or the heterogeneous co-processing scheduler
+// that splits the join across both processors from its cost-model
+// predictions and rebalances adaptively between morsel waves.
 
 #include <cstdio>
+#include <string>
 
 #include "core/triton_join.h"
 #include "data/generator.h"
+#include "exec/backend.h"
 #include "exec/device.h"
 #include "join/common.h"
+#include "join/cpu_radix_join.h"
+#include "sched/coprocess_scheduler.h"
 #include "sim/hw_spec.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -24,6 +34,12 @@ int main(int argc, char** argv) {
   const int64_t scale = flags.GetInt("scale", 64);
   const double mtuples = flags.GetDouble("mtuples", 512);
   const int64_t ratio = flags.GetInt("ratio", 1);
+  auto backend = exec::ParseBackend(flags.GetString("backend", "gpu"));
+  if (!backend.ok()) {
+    std::fprintf(stderr, "backend: %s\n",
+                 backend.status().ToString().c_str());
+    return 1;
+  }
 
   // 1. Describe the machine: the paper's IBM AC922 (POWER9 + V100 over
   //    NVLink 2.0), with capacities scaled down so the run fits this host.
@@ -50,9 +66,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s_tuples),
               util::FormatBytes((r_tuples + s_tuples) * 16).c_str());
 
-  // 3. Run the Triton join.
+  // 3. Run the join on the selected backend.
+  std::printf("backend : %s\n", exec::BackendName(backend.value()));
   core::TritonJoin join;
-  auto run = join.Run(dev, wl->r, wl->s);
+  sched::CoProcessScheduler hybrid({.adaptive = true});
+  util::StatusOr<join::JoinRun> run = join::JoinRun{};
+  switch (backend.value()) {
+    case exec::Backend::kCpu: {
+      join::CpuRadixJoin cpu_join;
+      run = cpu_join.Run(dev, wl->r, wl->s);
+      break;
+    }
+    case exec::Backend::kHybrid:
+      run = hybrid.Run(dev, wl->r, wl->s);
+      break;
+    case exec::Backend::kGpu:
+      run = join.Run(dev, wl->r, wl->s);
+      break;
+  }
   if (!run.ok()) {
     std::fprintf(stderr, "join: %s\n", run.status().ToString().c_str());
     return 1;
@@ -72,10 +103,21 @@ int main(int argc, char** argv) {
   std::printf("speed   : %s\n",
               util::FormatTupleRate(run->Throughput(r_tuples, s_tuples))
                   .c_str());
-  std::printf("radix   : %u + %u bits | cached %.0f%% of state, spilled %s\n",
-              join.stats().bits1, join.stats().bits2,
-              join.stats().cached_fraction * 100.0,
-              util::FormatBytes(join.stats().spilled_bytes).c_str());
+  if (backend.value() == exec::Backend::kGpu) {
+    std::printf(
+        "radix   : %u + %u bits | cached %.0f%% of state, spilled %s\n",
+        join.stats().bits1, join.stats().bits2,
+        join.stats().cached_fraction * 100.0,
+        util::FormatBytes(join.stats().spilled_bytes).c_str());
+  } else if (backend.value() == exec::Backend::kHybrid) {
+    const sched::CoProcessStats& st = hybrid.stats();
+    std::printf(
+        "split   : %u cpu + %u gpu pairs (cpu share %.0f%% -> %.0f%%) | "
+        "cached %.0f%%, spilled %s\n",
+        st.cpu_pairs, st.gpu_pairs, st.initial_cpu_fraction * 100.0,
+        st.final_cpu_fraction * 100.0, st.cached_fraction * 100.0,
+        util::FormatBytes(st.spilled_bytes).c_str());
+  }
 
   util::Table phases({"phase", "time", "bottleneck", "link", "compute"});
   const char* names[] = {"prefix_sum1", "partition1", "prefix_sum2",

@@ -1,0 +1,25 @@
+#include "exec/backend.h"
+
+namespace triton::exec {
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kCpu:
+      return "cpu";
+    case Backend::kGpu:
+      return "gpu";
+    case Backend::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+util::StatusOr<Backend> ParseBackend(const std::string& name) {
+  if (name == "cpu") return Backend::kCpu;
+  if (name == "gpu") return Backend::kGpu;
+  if (name == "hybrid") return Backend::kHybrid;
+  return util::Status::InvalidArgument("unknown backend '" + name +
+                                       "' (want cpu, gpu or hybrid)");
+}
+
+}  // namespace triton::exec

@@ -1,0 +1,587 @@
+#include "sched/coprocess_scheduler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "exec/block_executor.h"
+#include "hash/bucket_chain_table.h"
+#include "join/scratch_join.h"
+#include "partition/hierarchical.h"
+#include "partition/input.h"
+#include "partition/layout.h"
+#include "partition/prefix_sum.h"
+#include "partition/shared.h"
+#include "sched/predict.h"
+#include "util/bits.h"
+#include "util/fastpath.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace triton::sched {
+
+namespace {
+
+/// SM-cycles per refined partition pair for the join task scheduler kernel
+/// (same calibration as core::TritonJoin).
+constexpr double kSchedCyclesPerPair = 13000.0;
+
+/// A pass-1 partition pair: the scheduler's morsel.
+struct PairDesc {
+  uint32_t p = 0;
+  uint64_t r_n = 0;
+  uint64_t s_n = 0;
+  uint64_t tuples() const { return r_n + s_n; }
+};
+
+/// Outcome of one CPU-joined pair, reduced in pair order.
+struct PairOutcome {
+  uint64_t matches = 0;
+  uint64_t checksum = 0;
+  std::vector<partition::Tuple> rows;
+};
+
+}  // namespace
+
+double BoundedPipelineSeconds(const std::vector<double>& bw_stage,
+                              const std::vector<double>& compute_stage,
+                              uint32_t depth) {
+  CHECK_EQ(bw_stage.size(), compute_stage.size());
+  const size_t n = bw_stage.size();
+  if (n == 0) return 0.0;
+  const uint32_t d = std::max(depth, 1u);
+  std::vector<double> comp_done(n, 0.0);
+  double prev_bw_done = 0.0;
+  double prev_comp_done = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    // The copy-in of pair k waits for the previous copy-in (the link is
+    // serial) and for its staging slot, which pair k - depth occupies
+    // until its compute finishes.
+    double bw_start = prev_bw_done;
+    if (k >= d) bw_start = std::max(bw_start, comp_done[k - d]);
+    const double bw_done = bw_start + bw_stage[k];
+    // Compute of pair k needs its data staged and the GPU free.
+    const double comp_start = std::max(bw_done, prev_comp_done);
+    comp_done[k] = comp_start + compute_stage[k];
+    prev_bw_done = bw_done;
+    prev_comp_done = comp_done[k];
+  }
+  return comp_done[n - 1];
+}
+
+void CoProcessScheduler::DeriveBits(const sim::HwSpec& hw, uint64_t r_tuples,
+                                    uint64_t s_tuples, uint32_t* bits1,
+                                    uint32_t* bits2) {
+  // Same total refinement depth as TritonJoin::DeriveBits (final
+  // partitions of ~1024 tuples), but pass 1 claims at least kMinPairBits
+  // of it so the split always has >= 32 morsels to work with; the task
+  // scheduler's per-refined-pair cost depends only on the total, so
+  // shifting bits between the passes keeps the pipeline cost comparable.
+  uint32_t total = util::CeilLog2(util::CeilDiv(r_tuples, 1024));
+  total = std::max(total, 2u);
+  uint32_t b1 = std::max(total > 9 ? total - 9 : 1u, kMinPairBits);
+  if (b1 >= total) b1 = total - 1;
+  uint32_t b2 = total - b1;
+  // A pair (R_i + S_i) must fit the GPU-memory pipeline budget (same rule
+  // as TritonJoin).
+  uint64_t pair_bytes =
+      ((r_tuples + s_tuples) * sizeof(partition::Tuple)) >> b1;
+  while (pair_bytes * 4 > hw.gpu_mem.capacity / 2) {
+    ++b1;
+    pair_bytes /= 2;
+  }
+  *bits1 = b1;
+  *bits2 = b2;
+}
+
+util::StatusOr<join::JoinRun> CoProcessScheduler::Run(
+    exec::Device& dev, const data::Relation& r, const data::Relation& s) {
+  join::JoinRun run;
+  stats_ = CoProcessStats();
+  const sim::HwSpec& hw = dev.hw();
+  const uint32_t sms = config_.sms == 0 ? hw.gpu.num_sms : config_.sms;
+
+  uint32_t bits1 = config_.bits1, bits2 = config_.bits2;
+  if (bits1 == 0 || bits2 == 0) {
+    uint32_t d1, d2;
+    DeriveBits(hw, r.rows(), s.rows(), &d1, &d2);
+    if (bits1 == 0) bits1 = d1;
+    if (bits2 == 0) bits2 = d2;
+  }
+  stats_.bits1 = bits1;
+  stats_.bits2 = bits2;
+
+  partition::RadixConfig radix1{0, bits1};
+  partition::RadixConfig radix2 = radix1.Next(bits2);
+  const uint32_t blocks = sms;
+  const uint32_t depth = std::max(config_.staging_depth, 1u);
+
+  dev.ClearTrace();
+
+  // --- Shared front: prefix sums + out-of-core pass-1 partitioning of
+  // both relations, exactly the Triton join's (the build side crosses the
+  // link once, whatever the split) ---
+  partition::ColumnInput r_in = partition::ColumnInput::Of(r);
+  partition::ColumnInput s_in = partition::ColumnInput::Of(s);
+  partition::PrefixSumOptions ps1;
+  ps1.name = "prefix_sum1";
+  ps1.sms = sms;
+  partition::PartitionLayout r_layout1 =
+      CpuPrefixSum(dev, r_in, radix1, blocks, ps1);
+  partition::PartitionLayout s_layout1 =
+      CpuPrefixSum(dev, s_in, radix1, blocks, ps1);
+
+  const uint64_t r1_bytes =
+      r_layout1.padded_tuples() * sizeof(partition::Tuple);
+  const uint64_t s1_bytes =
+      s_layout1.padded_tuples() * sizeof(partition::Tuple);
+  uint64_t max_pair = 0;
+  for (uint32_t p = 0; p < radix1.fanout(); ++p) {
+    max_pair = std::max(max_pair, r_layout1.PartitionSize(p) +
+                                      s_layout1.PartitionSize(p));
+  }
+  // Pipeline reservation: `depth` staging slots plus the refined pair's
+  // double buffer (TritonJoin reserves 4x max_pair at its depth).
+  const uint64_t pipeline_reserve = std::max<uint64_t>(
+      (depth + 2) * max_pair * sizeof(partition::Tuple),
+      hw.gpu_mem.capacity / 8);
+  uint64_t cache_avail = dev.allocator().gpu_free() > pipeline_reserve
+                             ? dev.allocator().gpu_free() - pipeline_reserve
+                             : 0;
+  const uint64_t state_bytes = r1_bytes + s1_bytes;
+  const uint64_t cache_used = std::min(cache_avail, state_bytes);
+  stats_.cached_fraction =
+      state_bytes > 0 ? static_cast<double>(cache_used) / state_bytes : 0.0;
+  stats_.spilled_bytes = state_bytes - cache_used;
+
+  auto r1 = dev.allocator().AllocateInterleaved(
+      r1_bytes, static_cast<uint64_t>(stats_.cached_fraction * r1_bytes));
+  if (!r1.ok()) return r1.status();
+  auto s1 = dev.allocator().AllocateInterleaved(
+      s1_bytes, static_cast<uint64_t>(stats_.cached_fraction * s1_bytes));
+  if (!s1.ok()) return s1.status();
+
+  partition::HierarchicalPartitioner pass1;
+  partition::PartitionOptions p1;
+  p1.sms = sms;
+  p1.name = "partition1_r";
+  pass1.PartitionColumns(dev, r_in, r_layout1, *r1, p1);
+  p1.name = "partition1_s";
+  pass1.PartitionColumns(dev, s_in, s_layout1, *s1, p1);
+
+  mem::Buffer result;
+  if (config_.result_mode == join::ResultMode::kMaterialize) {
+    auto res =
+        dev.allocator().AllocateCpu(s.rows() * sizeof(partition::Tuple));
+    if (!res.ok()) return res.status();
+    result = std::move(res).value();
+  }
+
+  // --- Morsels: the non-empty pass-1 pairs, in pair-index order ---
+  std::vector<PairDesc> pairs;
+  uint64_t total_tuples = 0;
+  for (uint32_t p = 0; p < radix1.fanout(); ++p) {
+    PairDesc pd{p, r_layout1.PartitionSize(p), s_layout1.PartitionSize(p)};
+    if (pd.r_n == 0 || pd.s_n == 0) continue;
+    total_tuples += pd.tuples();
+    pairs.push_back(pd);
+  }
+  stats_.pairs_total = static_cast<uint32_t>(pairs.size());
+
+  // --- Initial split from the cost model: equalize the predicted
+  // finishing times of the two sides, i.e. f = rho_cpu / (rho_cpu +
+  // rho_gpu) over the backends' predicted tuple rates ---
+  stats_.predicted_cpu_seconds =
+      PredictCpuRadixSeconds(hw, r.rows(), s.rows(), config_.scheme);
+  stats_.predicted_gpu_seconds = PredictTritonSeconds(hw, r.rows(), s.rows());
+  double cpu_rate = 0.0, gpu_rate = 0.0;
+  {
+    const uint64_t avg_r = std::max<uint64_t>(r.rows() >> bits1, 1);
+    const uint64_t avg_s = std::max<uint64_t>(s.rows() >> bits1, 1);
+    CpuPairCost pc = PredictCpuPairCost(hw, avg_r, avg_s,
+                                        stats_.cached_fraction,
+                                        config_.scheme);
+    if (pc.Seconds() > 0.0) {
+      cpu_rate = static_cast<double>(avg_r + avg_s) / pc.Seconds();
+    }
+    TritonPrediction tp = PredictTritonPhases(hw, r.rows(), s.rows());
+    if (tp.pipeline_seconds > 0.0) {
+      gpu_rate = static_cast<double>(total_tuples) / tp.pipeline_seconds;
+    }
+  }
+  double f = config_.split_ratio;
+  if (f < 0.0) {
+    f = cpu_rate + gpu_rate > 0.0 ? cpu_rate / (cpu_rate + gpu_rate) : 0.0;
+    f = std::clamp(f, 0.0, 0.9);
+  }
+  f = std::clamp(f, 0.0, 1.0);
+  stats_.initial_cpu_fraction = f;
+  util::Lcg64 rng(config_.seed);
+
+  // --- Bounded staging queue through the interconnect: `depth` GPU-side
+  // slots, reused round-robin; slot lifetime is enforced by the pipeline
+  // time model (BoundedPipelineSeconds) ---
+  const bool stage_pairs = stats_.spilled_bytes > 0;
+  mem::Buffer staging;
+  if (stage_pairs) {
+    auto st = dev.allocator().AllocateGpu(
+        static_cast<uint64_t>(depth) * std::max<uint64_t>(max_pair, 1) *
+        sizeof(partition::Tuple));
+    if (!st.ok()) return st.status();
+    staging = std::move(st).value();
+  }
+
+  uint64_t matches = 0, checksum = 0, result_cursor = 0;
+  std::vector<double> gpu_bw, gpu_comp;  // per-GPU-pair pipeline lanes
+  uint32_t gpu_seq = 0;
+  uint64_t cpu_tuples_total = 0, assigned_tuples = 0;
+  partition::SharedPartitioner pass2;
+
+  // GPU side of one morsel: Triton's refine + join pair body, staging the
+  // pair into its bounded-queue slot when pass-1 state spilled.
+  auto run_gpu_pair = [&](const PairDesc& pd,
+                          uint64_t slot_base) -> util::Status {
+    partition::SlicedRowInput r_rows =
+        partition::PartitionInputOf(*r1, r_layout1, pd.p);
+    partition::SlicedRowInput s_rows =
+        partition::PartitionInputOf(*s1, s_layout1, pd.p);
+
+    auto prefix_and_stage =
+        [&](const partition::SlicedRowInput& rows,
+            uint64_t stage_offset) -> partition::PartitionLayout {
+      partition::PartitionLayout layout;
+      dev.Launch(
+          {.name = "prefix_sum2", .sms = sms},
+          [&](exec::KernelContext& ctx) {
+            const uint64_t n = rows.size();
+            rows.AccountRead(ctx, 0, n);
+            const uint64_t chunk = (n + blocks - 1) / blocks;
+            std::vector<std::vector<uint64_t>> histograms(
+                blocks, std::vector<uint64_t>(radix2.fanout(), 0));
+            ctx.ForEachBlock(
+                blocks, [&](exec::KernelContext& sub, uint32_t b) {
+                  uint64_t begin = static_cast<uint64_t>(b) * chunk;
+                  uint64_t end = std::min(n, begin + chunk);
+                  if (begin >= end) return;
+                  sub.SetSanitizerBlock(b);
+                  partition::SlicedRowInput block_rows = rows;
+                  partition::ComputeBlockHistogram(block_rows, radix2, begin,
+                                                   end, histograms[b]);
+                });
+            layout = partition::PartitionLayout(radix2, histograms, 8);
+            ctx.AddTuples(n);
+            ctx.Charge(static_cast<uint64_t>(
+                n * partition::kPrefixSumCyclesPerTuple));
+            if (stage_pairs) {
+              if (util::FastPathEnabled()) {
+                partition::Tuple batch[partition::kFastPathBatchTuples];
+                for (uint64_t base = 0; base < n;
+                     base += partition::kFastPathBatchTuples) {
+                  const uint64_t m = std::min<uint64_t>(
+                      n - base, partition::kFastPathBatchTuples);
+                  rows.GetBatch(base, m, batch);
+                  ctx.StoreRun(staging, stage_offset + base, batch, m);
+                }
+              } else {
+                for (uint64_t i = 0; i < n; ++i) {
+                  ctx.Store(staging, stage_offset + i, rows.Get(i));
+                }
+              }
+              ctx.WriteSeq(staging, stage_offset * sizeof(partition::Tuple),
+                           n * sizeof(partition::Tuple));
+            }
+          });
+      return layout;
+    };
+    partition::PartitionLayout r_layout2 = prefix_and_stage(r_rows, slot_base);
+    partition::PartitionLayout s_layout2 =
+        prefix_and_stage(s_rows, slot_base + pd.r_n);
+
+    auto r2 = dev.allocator().AllocateGpu(r_layout2.padded_tuples() *
+                                          sizeof(partition::Tuple));
+    if (!r2.ok()) return r2.status();
+    auto s2 = dev.allocator().AllocateGpu(s_layout2.padded_tuples() *
+                                          sizeof(partition::Tuple));
+    if (!s2.ok()) return s2.status();
+
+    partition::PartitionOptions p2;
+    p2.sms = sms;
+    p2.name = "partition2";
+    if (stage_pairs) {
+      partition::RowInput r_staged(&staging, slot_base, pd.r_n);
+      partition::RowInput s_staged(&staging, slot_base + pd.r_n, pd.s_n);
+      pass2.PartitionRows(dev, r_staged, r_layout2, *r2, p2);
+      pass2.PartitionRows(dev, s_staged, s_layout2, *s2, p2);
+    } else {
+      pass2.PartitionSliced(dev, r_rows, r_layout2, *r2, p2);
+      pass2.PartitionSliced(dev, s_rows, s_layout2, *s2, p2);
+    }
+
+    dev.Launch({.name = "sched", .sms = sms},
+               [&](exec::KernelContext& ctx) {
+                 ctx.Charge(static_cast<uint64_t>(kSchedCyclesPerPair *
+                                                  radix2.fanout()));
+               });
+
+    dev.Launch({.name = "join", .sms = sms},
+               [&](exec::KernelContext& ctx) {
+                 const uint32_t fan2 = radix2.fanout();
+                 struct BlockOut {
+                   std::vector<partition::Tuple> pairs;
+                   uint64_t matches = 0;
+                   uint64_t checksum = 0;
+                 };
+                 std::vector<BlockOut> outs(fan2);
+                 ctx.ForEachBlock(
+                     fan2, [&](exec::KernelContext& sub, uint32_t q) {
+                       sub.SetSanitizerBlock(q);
+                       std::vector<std::pair<uint64_t, uint64_t>> r_sl, s_sl;
+                       r_layout2.ForEachSlice(
+                           q, [&](uint64_t b, uint64_t c) {
+                             r_sl.emplace_back(b, c);
+                           });
+                       s_layout2.ForEachSlice(
+                           q, [&](uint64_t b, uint64_t c) {
+                             s_sl.emplace_back(b, c);
+                           });
+                       join::ScratchJoiner block_joiner(
+                           config_.scheme, hw.gpu.scratchpad_bytes);
+                       BlockOut& out = outs[q];
+                       block_joiner.JoinSlicesEmit(
+                           sub, *r2, r_sl, *s2, s_sl, bits1 + bits2,
+                           [&](int64_t build_val, int64_t probe_val) {
+                             if (result.valid()) {
+                               out.pairs.push_back(
+                                   partition::Tuple{build_val, probe_val});
+                             }
+                             ++out.matches;
+                             out.checksum +=
+                                 static_cast<uint64_t>(build_val) +
+                                 static_cast<uint64_t>(probe_val);
+                           });
+                     });
+                 for (uint32_t q = 0; q < fan2; ++q) {
+                   BlockOut& out = outs[q];
+                   matches += out.matches;
+                   checksum += out.checksum;
+                   if (!out.pairs.empty()) {
+                     uint64_t at = result_cursor;
+                     if (util::FastPathEnabled()) {
+                       ctx.StoreRun(result, at, out.pairs.data(),
+                                    out.pairs.size());
+                       result_cursor += out.pairs.size();
+                     } else {
+                       for (const partition::Tuple& t : out.pairs) {
+                         ctx.Store(result, result_cursor++, t);
+                       }
+                     }
+                     ctx.WriteSeq(result, at * sizeof(partition::Tuple),
+                                  out.pairs.size() *
+                                      sizeof(partition::Tuple));
+                   }
+                 }
+               });
+
+    dev.allocator().Free(*r2);
+    dev.allocator().Free(*s2);
+    return util::Status::OK();
+  };
+
+  // CPU side of one morsel, functional half: join the pair in place from
+  // the pass-1 state with a bucket-chaining table over R_i. Runs on the
+  // BlockExecutor pool (one block per pair); outcomes land in per-pair
+  // slots and are reduced in pair order afterwards.
+  const partition::Tuple* r1_rows = r1->as<partition::Tuple>();
+  const partition::Tuple* s1_rows = s1->as<partition::Tuple>();
+  const bool materialize = result.valid();
+  auto cpu_join_pair = [&](const PairDesc& pd, PairOutcome* out) {
+    // Keep chains short for pairs much larger than the scratchpad table:
+    // the CPU's LLC-resident table is not bucket-limited the way the
+    // scratchpad one is (the modeled cost already pays the sub-partition
+    // passes that make it cache-resident).
+    uint32_t log2_buckets = 11;
+    while ((uint64_t{1} << log2_buckets) * 4 < pd.r_n && log2_buckets < 20) {
+      ++log2_buckets;
+    }
+    const uint32_t buckets = 1u << log2_buckets;
+    std::vector<uint32_t> heads(buckets, 0u);
+    std::vector<int64_t> keys(pd.r_n);
+    std::vector<int64_t> values(pd.r_n);
+    std::vector<uint32_t> next(pd.r_n);
+    hash::BucketChainTable table(heads.data(), buckets, keys.data(),
+                                 values.data(), next.data(),
+                                 static_cast<uint32_t>(pd.r_n));
+    r_layout1.ForEachSlice(pd.p, [&](uint64_t begin, uint64_t count) {
+      for (uint64_t i = begin; i < begin + count; ++i) {
+        table.Insert(r1_rows[i].key, r1_rows[i].value, bits1);
+      }
+    });
+    s_layout1.ForEachSlice(pd.p, [&](uint64_t begin, uint64_t count) {
+      for (uint64_t i = begin; i < begin + count; ++i) {
+        table.Probe(s1_rows[i].key, bits1, [&](int64_t build_val) {
+          if (materialize) {
+            out->rows.push_back(
+                partition::Tuple{build_val, s1_rows[i].value});
+          }
+          ++out->matches;
+          out->checksum += static_cast<uint64_t>(build_val) +
+                           static_cast<uint64_t>(s1_rows[i].value);
+        });
+      }
+    });
+  };
+
+  // --- Morsel waves: assign pairs to a side in pair-index order, run the
+  // CPU side's functional joins on the executor pool, then reduce
+  // everything in pair order (records, results, pipeline lanes) ---
+  const uint32_t wave_pairs =
+      config_.wave_pairs != 0
+          ? config_.wave_pairs
+          : std::clamp<uint32_t>(
+                static_cast<uint32_t>(pairs.size() / 8), 4, 64);
+  size_t done = 0;
+  while (done < pairs.size()) {
+    const size_t wave_end = std::min(pairs.size(), done + wave_pairs);
+    CoProcessWave wave;
+    wave.target_cpu_fraction = f;
+
+    // Greedy nested assignment: pair i goes to the CPU while the running
+    // CPU tuple share stays within the target f. Deterministic in pair
+    // order; the CPU pair set grows monotonically with f.
+    std::vector<uint8_t> to_cpu(wave_end - done, 0);
+    std::vector<size_t> cpu_idx;
+    uint64_t wave_cpu_tuples = 0, wave_gpu_tuples = 0;
+    for (size_t i = done; i < wave_end; ++i) {
+      const uint64_t n_i = pairs[i].tuples();
+      const bool cpu_side =
+          static_cast<double>(cpu_tuples_total + n_i) <=
+          f * static_cast<double>(assigned_tuples + n_i);
+      assigned_tuples += n_i;
+      if (cpu_side) {
+        to_cpu[i - done] = 1;
+        cpu_idx.push_back(i);
+        cpu_tuples_total += n_i;
+        wave_cpu_tuples += n_i;
+      } else {
+        wave_gpu_tuples += n_i;
+      }
+    }
+
+    std::vector<PairOutcome> outs(cpu_idx.size());
+    if (!cpu_idx.empty()) {
+      exec::BlockExecutor::Global().Run(
+          static_cast<uint32_t>(cpu_idx.size()), [&](uint32_t b) {
+            cpu_join_pair(pairs[cpu_idx[b]], &outs[b]);
+          });
+    }
+
+    size_t cpu_k = 0;
+    for (size_t i = done; i < wave_end; ++i) {
+      const PairDesc& pd = pairs[i];
+      ++wave.pairs;
+      if (to_cpu[i - done]) {
+        PairOutcome& out = outs[cpu_k++];
+        const CpuPairCost cost = PredictCpuPairCost(
+            hw, pd.r_n, pd.s_n, stats_.cached_fraction, config_.scheme);
+        const uint64_t pair_bytes = pd.tuples() * sizeof(partition::Tuple);
+        const uint64_t link_payload = static_cast<uint64_t>(
+            static_cast<double>(pair_bytes) * stats_.cached_fraction);
+        exec::KernelRecord rec;
+        rec.name = "coproc_cpu_pair";
+        rec.sms = 0;
+        rec.counters.tuples = pd.tuples();
+        rec.counters.link_read_payload = link_payload;
+        rec.counters.link_read_physical =
+            link_payload * (hw.link.max_dma_payload + hw.link.header_bytes) /
+            hw.link.max_dma_payload;
+        rec.counters.link_read_txns =
+            util::CeilDiv(link_payload, hw.link.max_dma_payload);
+        rec.counters.cpu_mem_read = (pair_bytes - link_payload) +
+                                    pair_bytes * cost.extra_passes;
+        rec.counters.cpu_mem_write = pair_bytes * cost.extra_passes;
+        rec.time.link = cost.link_seconds;
+        rec.time.cpu_mem = cost.read_seconds + cost.partition_seconds;
+        rec.time.compute = cost.join_seconds;
+        if (materialize && !out.rows.empty()) {
+          std::memcpy(result.as<partition::Tuple>() + result_cursor,
+                      out.rows.data(),
+                      out.rows.size() * sizeof(partition::Tuple));
+          result_cursor += out.rows.size();
+          rec.counters.cpu_mem_write +=
+              out.rows.size() * sizeof(partition::Tuple);
+        }
+        dev.Record(rec);
+        matches += out.matches;
+        checksum += out.checksum;
+        const double pair_seconds = cost.Seconds();
+        stats_.cpu_seconds += pair_seconds;
+        wave.cpu_seconds += pair_seconds;
+        ++wave.cpu_pairs;
+        ++stats_.cpu_pairs;
+      } else {
+        const size_t mark = dev.trace().size();
+        const uint64_t slot_base =
+            stage_pairs ? (gpu_seq % depth) * max_pair : 0;
+        util::Status st = run_gpu_pair(pd, slot_base);
+        if (!st.ok()) return st;
+        double bw = 0.0, comp = 0.0;
+        for (size_t k = mark; k < dev.trace().size(); ++k) {
+          const sim::KernelTime& t = dev.trace()[k].time;
+          bw += std::max({t.link, t.tlb, t.cpu_mem});
+          comp += std::max(t.compute, t.gpu_mem);
+        }
+        gpu_bw.push_back(bw);
+        gpu_comp.push_back(comp);
+        wave.gpu_seconds += std::max(bw, comp);
+        ++stats_.gpu_pairs;
+        ++gpu_seq;
+      }
+    }
+
+    // Adaptive rebalance from observed per-morsel modeled seconds: move
+    // the share toward equalizing the two sides' rates, with a small
+    // seeded dither so ties break reproducibly but not sticky.
+    if (config_.adaptive && wave_end < pairs.size()) {
+      if (wave_cpu_tuples > 0 && wave.cpu_seconds > 0.0) {
+        cpu_rate = static_cast<double>(wave_cpu_tuples) / wave.cpu_seconds;
+      }
+      if (wave_gpu_tuples > 0 && wave.gpu_seconds > 0.0) {
+        gpu_rate = static_cast<double>(wave_gpu_tuples) / wave.gpu_seconds;
+      }
+      if (cpu_rate + gpu_rate > 0.0) {
+        const double dither = (rng.NextDouble() - 0.5) * 0.01;
+        f = std::clamp(cpu_rate / (cpu_rate + gpu_rate) + dither, 0.0, 0.9);
+      }
+    }
+    stats_.waves.push_back(wave);
+    done = wave_end;
+  }
+
+  run.matches = matches;
+  run.checksum = checksum;
+  run.phases = dev.trace();
+  for (const auto& ph : run.phases) run.totals.Merge(ph.counters);
+
+  // --- Elapsed: shared pass-1 barrier, then both backends run
+  // concurrently — the CPU chews its pairs while the GPU pipeline streams
+  // and joins the rest through the bounded staging queue ---
+  stats_.front_seconds =
+      run.PhaseTime("prefix_sum1") + run.PhaseTime("partition1");
+  stats_.gpu_pipeline_seconds =
+      BoundedPipelineSeconds(gpu_bw, gpu_comp, depth);
+  stats_.final_cpu_fraction =
+      total_tuples > 0
+          ? static_cast<double>(cpu_tuples_total) /
+                static_cast<double>(total_tuples)
+          : 0.0;
+  run.elapsed = stats_.front_seconds +
+                std::max(stats_.cpu_seconds, stats_.gpu_pipeline_seconds);
+
+  dev.allocator().Free(*r1);
+  dev.allocator().Free(*s1);
+  if (staging.valid()) dev.allocator().Free(staging);
+  if (result.valid()) dev.allocator().Free(result);
+  return run;
+}
+
+}  // namespace triton::sched

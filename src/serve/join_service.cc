@@ -10,6 +10,8 @@
 #include "data/relation.h"
 #include "exec/device.h"
 #include "join/common.h"
+#include "join/cpu_radix_join.h"
+#include "sched/coprocess_scheduler.h"
 #include "util/bits.h"
 #include "util/logging.h"
 
@@ -106,8 +108,12 @@ ResourceRequest JoinService::EstimateFootprint(const Request& request) const {
       // Input relations, both partitioned copies with per-slice padding,
       // and spill headroom.
       need.cpu_bytes = input * 8 + 256 * page;
-      need.gpu_bytes = gpu_share_;
-      need.scratchpad_bytes = scratchpad_share_;
+      // A CPU-only join touches neither GPU memory nor scratchpad: the
+      // arbiter can keep it resident alongside GPU-bound queries.
+      if (request.backend != exec::Backend::kCpu) {
+        need.gpu_bytes = gpu_share_;
+        need.scratchpad_bytes = scratchpad_share_;
+      }
       break;
     }
     case RequestKind::kAggregate: {
@@ -226,8 +232,29 @@ RequestOutcome JoinService::ExecuteQuery(const InFlight& query) {
       out.status = wl.status();
       return out;
     }
-    core::TritonJoin join({.result_mode = join::ResultMode::kAggregate});
-    auto run = join.Run(dev, wl->r, wl->s);
+    util::StatusOr<join::JoinRun> run = join::JoinRun{};
+    switch (query.request.backend) {
+      case exec::Backend::kCpu: {
+        join::CpuRadixJoin cpu_join(
+            {.result_mode = join::ResultMode::kAggregate});
+        run = cpu_join.Run(dev, wl->r, wl->s);
+        break;
+      }
+      case exec::Backend::kHybrid: {
+        sched::CoProcessConfig cfg;
+        cfg.result_mode = join::ResultMode::kAggregate;
+        cfg.adaptive = true;
+        cfg.seed = query.request.seed;
+        sched::CoProcessScheduler hybrid(cfg);
+        run = hybrid.Run(dev, wl->r, wl->s);
+        break;
+      }
+      case exec::Backend::kGpu: {
+        core::TritonJoin join({.result_mode = join::ResultMode::kAggregate});
+        run = join.Run(dev, wl->r, wl->s);
+        break;
+      }
+    }
     if (!run.ok()) {
       out.status = run.status();
       return out;

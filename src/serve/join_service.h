@@ -34,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/backend.h"
 #include "serve/arbiter.h"
 #include "serve/shared_build.h"
 #include "sim/hw_spec.h"
@@ -69,6 +70,11 @@ struct Request {
   uint64_t seed = 1;
   /// Probe-side skew for kJoin (0 = uniform).
   double zipf_theta = 0.0;
+  /// Backend a kJoin executes on: the GPU Triton join (default), the
+  /// CPU-only radix join (reserves no GPU memory or scratchpad, so the
+  /// arbiter can co-schedule it with GPU-resident queries), or the
+  /// co-processing scheduler splitting the query across both processors.
+  exec::Backend backend = exec::Backend::kGpu;
 };
 
 /// Service-wide configuration.

@@ -11,6 +11,7 @@
 #include "data/generator.h"
 #include "data/relation.h"
 #include "exec/device.h"
+#include "sched/coprocess_scheduler.h"
 #include "serve/join_service.h"
 #include "join/cpu_partitioned_join.h"
 #include "join/cpu_radix_join.h"
@@ -351,6 +352,53 @@ TEST_P(GeneratorProperty, JoinCardinalityAlwaysEqualsProbeSide) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
                          ::testing::Range<uint64_t>(1, 9));
+
+// --- Co-processing split invariance: any split ratio, same join ---
+
+class CoProcessSplitProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoProcessSplitProperty, AnySplitRatioMatchesSingleBackendOracle) {
+  sim::HwSpec hw = sim::HwSpec::Ac922NvLink().Scaled(64);
+  util::Rng rng(0xc0ffee ^ GetParam());
+  data::WorkloadConfig cfg;
+  cfg.r_tuples = 50000 + rng.NextBounded(200000);
+  cfg.s_tuples = cfg.r_tuples + rng.NextBounded(200000);
+  cfg.seed = GetParam();
+
+  // Single-backend oracle: the full-GPU Triton join on its own device.
+  uint64_t oracle_matches = 0, oracle_checksum = 0;
+  {
+    exec::Device dev(hw);
+    auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+    ASSERT_TRUE(wl.ok());
+    core::TritonJoin gpu({.result_mode = join::ResultMode::kAggregate});
+    auto run = gpu.Run(dev, wl->r, wl->s);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    oracle_matches = run->matches;
+    oracle_checksum = run->checksum;
+    EXPECT_EQ(oracle_checksum, join::ReferenceChecksum(wl->r, wl->s));
+  }
+
+  // The hybrid result is invariant in the split ratio: randomized ratios
+  // plus both extremes all reproduce the oracle bit for bit.
+  std::vector<double> ratios = {0.0, 1.0, rng.NextDouble(), rng.NextDouble()};
+  for (double ratio : ratios) {
+    exec::Device dev(hw);
+    auto wl = data::GenerateWorkload(dev.allocator(), cfg);
+    ASSERT_TRUE(wl.ok());
+    sched::CoProcessConfig sc;
+    sc.result_mode = join::ResultMode::kAggregate;
+    sc.split_ratio = ratio;
+    sched::CoProcessScheduler hybrid(sc);
+    auto run = hybrid.Run(dev, wl->r, wl->s);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->matches, oracle_matches) << "ratio " << ratio;
+    EXPECT_EQ(run->checksum, oracle_checksum) << "ratio " << ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoProcessSplitProperty,
+                         ::testing::Range<uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace triton

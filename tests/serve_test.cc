@@ -413,5 +413,89 @@ TEST(ServeBatchingTest, SharedBuildProbesSeeEveryKey) {
   ExpectCountersEq(run->counters, rerun->counters);
 }
 
+// --- Mixed backends: CPU, GPU and hybrid joins co-resident ---
+
+TEST(ServeBackendTest, MixedBackendTraceBitIdenticalAcrossThreadCounts) {
+  std::vector<Request> trace;
+  for (uint32_t t = 0; t < 3; ++t) {
+    for (exec::Backend backend : {exec::Backend::kGpu, exec::Backend::kCpu,
+                                  exec::Backend::kHybrid}) {
+      Request join;
+      join.tenant = t;
+      join.kind = RequestKind::kJoin;
+      join.backend = backend;
+      join.r_tuples = 60000 + 5000 * t;
+      join.s_tuples = 2 * join.r_tuples;
+      join.seed = 100 + 10 * t + static_cast<uint64_t>(backend);
+      trace.push_back(join);
+    }
+  }
+  ServiceConfig config;
+  config.scheduler_seed = 11;
+  ServiceRun serial = RunService(config, trace, 1);
+  ServiceRun parallel = RunService(config, trace, 8);
+
+  ASSERT_EQ(serial.outcomes.size(), trace.size());
+  ASSERT_EQ(parallel.outcomes.size(), trace.size());
+  for (size_t i = 0; i < serial.outcomes.size(); ++i) {
+    const RequestOutcome& a = serial.outcomes[i];
+    const RequestOutcome& b = parallel.outcomes[i];
+    EXPECT_TRUE(a.status.ok()) << a.status.ToString();
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.matches, b.matches);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    ExpectCountersEq(a.counters, b.counters);
+  }
+  EXPECT_EQ(serial.busy_seconds, parallel.busy_seconds);
+
+  // All three backends agree on the join result for the same workload.
+  std::vector<Request> same;
+  for (exec::Backend backend : {exec::Backend::kGpu, exec::Backend::kCpu,
+                                exec::Backend::kHybrid}) {
+    Request join;
+    join.kind = RequestKind::kJoin;
+    join.backend = backend;
+    join.r_tuples = 50000;
+    join.s_tuples = 100000;
+    join.seed = 99;
+    same.push_back(join);
+  }
+  ServiceRun agree = RunService(ServiceConfig{}, same, 2);
+  ASSERT_EQ(agree.outcomes.size(), 3u);
+  for (const RequestOutcome& out : agree.outcomes) {
+    EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+    EXPECT_EQ(out.matches, agree.outcomes[0].matches);
+    EXPECT_EQ(out.checksum, agree.outcomes[0].checksum);
+  }
+}
+
+TEST(ServeBackendTest, CpuJoinsNeedNoGpuBudget) {
+  // On a machine whose GPU budget fits only one carve, CPU-backend joins
+  // still co-schedule: they reserve no GPU memory or scratchpad.
+  ServiceConfig config;
+  config.max_inflight = 4;
+  std::vector<Request> trace;
+  for (uint32_t i = 0; i < 4; ++i) {
+    Request join;
+    join.tenant = i;
+    join.kind = RequestKind::kJoin;
+    join.backend = exec::Backend::kCpu;
+    join.r_tuples = 40000;
+    join.s_tuples = 80000;
+    join.seed = 40 + i;
+    trace.push_back(join);
+  }
+  ServiceRun run = RunService(config, trace, 2);
+  ASSERT_EQ(run.outcomes.size(), 4u);
+  for (const RequestOutcome& out : run.outcomes) {
+    EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+    EXPECT_EQ(out.matches, 80000u);
+    // The CPU path never touches the GPU: no link or GPU-memory traffic.
+    EXPECT_EQ(out.counters.link_read_payload, 0u);
+    EXPECT_EQ(out.counters.gpu_mem_read, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace triton

@@ -34,7 +34,7 @@ import sys
 EXPECTED_FIGURES = [
     "fig01", "fig04", "fig06", "fig07", "fig13", "fig14", "fig15", "fig16",
     "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
-    "ablation", "ext_skew", "ext_pcie", "ext_serve", "micro",
+    "ablation", "ext_skew", "ext_pcie", "ext_serve", "ext_coproc", "micro",
 ]
 
 SCHEMA_VERSION = 1
@@ -239,6 +239,49 @@ def check_ext_serve(figure, report):
                      f"(want last >= 0.5x first)")
 
 
+def check_ext_coproc(figure, report):
+    # The co-processing scheduler must justify itself: at every size the
+    # adaptive hybrid is at least as fast as the best single backend, and
+    # each fixed-ratio sweep is unimodal — modeled seconds descend toward
+    # the optimum and ascend after it (small tolerance for pair-granularity
+    # plateaus).
+    def seconds(point):
+        return point["seconds"]["mean"]
+
+    cpu = series(report, "cpu-only")
+    gpu = series(report, "gpu-only")
+    hybrid = series(report, "hybrid-adaptive")
+    if not cpu or not gpu or not hybrid:
+        fail(figure, f"missing series; have {series_names(report)}")
+        return
+    for c, g, h in zip(cpu, gpu, hybrid):
+        best = min(seconds(c), seconds(g))
+        if seconds(h) > best * 1.001:
+            fail(figure, f"adaptive hybrid ({seconds(h):.4g}s) slower than "
+                         f"best single backend ({best:.4g}s) at "
+                         f"x={h['x']}")
+
+    sweeps = [n for n in series_names(report) if n.startswith("sweep@")]
+    if not sweeps:
+        fail(figure, f"no sweep@ series; have {series_names(report)}")
+        return
+    tol = 1.005
+    for name in sweeps:
+        pts = sorted(series(report, name), key=lambda p: p["x"])
+        secs = [seconds(p) for p in pts]
+        k = secs.index(min(secs))
+        for i in range(1, k + 1):
+            if secs[i] > secs[i - 1] * tol:
+                fail(figure, f"{name}: not descending toward the optimum at "
+                             f"x={pts[i]['x']} ({secs[i-1]:.4g} -> "
+                             f"{secs[i]:.4g})")
+        for i in range(k + 1, len(secs)):
+            if secs[i] < secs[i - 1] / tol:
+                fail(figure, f"{name}: not ascending past the optimum at "
+                             f"x={pts[i]['x']} ({secs[i-1]:.4g} -> "
+                             f"{secs[i]:.4g})")
+
+
 def check_micro(figure, report):
     # The microbench suite embeds its own invariants: the sanitizer shadow
     # round-trips must be violation-free, and the per-tuple and bulk
@@ -266,6 +309,7 @@ SHAPE_CHECKS = {
     "fig19": check_fig19,
     "ext_pcie": check_ext_pcie,
     "ext_serve": check_ext_serve,
+    "ext_coproc": check_ext_coproc,
     "micro": check_micro,
 }
 
